@@ -1,0 +1,72 @@
+"""§4.3's multiprogram (Andrew-like) benchmark.
+
+Runs the full mini-tool pipeline — file creation, directory creation,
+compression, archival, permission checking, moving, deleting, sorting —
+with original and with authenticated binaries, and compares the
+overhead with the paper's +0.96% (259.66s -> 262.14s, std devs
+1.24/2.12, ~12,000 syscalls per iteration).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.workloads import AndrewBenchmark
+from benchmarks.conftest import BENCH_KEY, bench_scale
+
+PAPER = {
+    "original_secs": 259.66,
+    "original_std": 1.24,
+    "authenticated_secs": 262.14,
+    "authenticated_std": 2.12,
+    "overhead_pct": 0.96,
+    "syscalls_per_iteration": 12000,
+}
+
+
+@pytest.mark.benchmark(group="andrew")
+def test_andrew_multiprogram(benchmark, report):
+    scale = bench_scale()
+    files = max(4, int(32 * scale))
+
+    def run_both():
+        original = AndrewBenchmark(
+            key=BENCH_KEY, authenticated=False, files_per_iteration=files
+        ).run()
+        authenticated = AndrewBenchmark(
+            key=BENCH_KEY, authenticated=True, files_per_iteration=files
+        ).run()
+        return original, authenticated
+
+    original, authenticated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert not original.failures, original.failures
+    assert not authenticated.failures, authenticated.failures
+
+    overhead = 100.0 * (authenticated.cycles - original.cycles) / original.cycles
+    rows = [
+        ["execution time (s)", f"{PAPER['original_secs']:.2f}",
+         f"{original.seconds_scaled:.2f}",
+         f"{PAPER['authenticated_secs']:.2f}",
+         f"{authenticated.seconds_scaled:.2f}"],
+        ["std deviation", f"{PAPER['original_std']:.2f}", "0.00 (deterministic)",
+         f"{PAPER['authenticated_std']:.2f}", "0.00 (deterministic)"],
+        ["overhead", "-", "-", f"{PAPER['overhead_pct']:.2f}%", f"{overhead:.2f}%"],
+        ["syscalls/iteration", "~12000", str(original.syscalls),
+         "~12000", str(authenticated.syscalls)],
+        ["tool processes", "-", str(original.processes),
+         "-", str(authenticated.processes)],
+    ]
+    report(
+        "andrew_multiprogram",
+        format_table(
+            ["metric", "orig (paper)", "orig (ours)",
+             "auth (paper)", "auth (ours)"],
+            rows,
+            title=f"Andrew-like multiprogram benchmark "
+                  f"({files} files/iteration; workload scaled vs paper)",
+        ),
+    )
+
+    # Shape: identical syscall counts, small single-digit overhead in
+    # the paper's ~1% band.
+    assert original.syscalls == authenticated.syscalls
+    assert 0.2 < overhead < 3.0, overhead

@@ -1,0 +1,51 @@
+"""§4.1 attack experiments + §5.5 Frankenstein, as a regression bench.
+
+The paper's three attack experiments (shellcode, mimicry,
+non-control-data) plus the replay and Frankenstein scenarios; each must
+land on its documented outcome, and the bench reports the kernel's
+fail-stop reason for every one.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.attacks import run_all_attacks
+from benchmarks.conftest import BENCH_KEY
+
+#: Expected outcome per scenario (True = blocked).
+EXPECTED = {
+    "shellcode": True,
+    "mimicry/call-graph": True,
+    "mimicry/call-site": True,
+    "non-control-data": True,
+    "frankenstein/defended": True,
+    "frankenstein/undefended": False,  # the §5.5 vulnerability, by design
+    "replay": True,
+}
+
+
+@pytest.mark.benchmark(group="attacks")
+def test_attack_battery(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: run_all_attacks(BENCH_KEY), rounds=1, iterations=1
+    )
+
+    rows = []
+    for result in results:
+        expected = "BLOCKED" if EXPECTED[result.name] else "succeeds"
+        actual = "BLOCKED" if result.blocked else "succeeds"
+        rows.append([
+            result.name, expected, actual,
+            (result.kill_reason or "-")[:60],
+        ])
+    report(
+        "attack_battery",
+        format_table(
+            ["attack", "expected", "measured", "kernel reason"],
+            rows,
+            title="§4.1 / §5.5 attack experiments",
+        ),
+    )
+
+    for result in results:
+        assert result.blocked == EXPECTED[result.name], result.name

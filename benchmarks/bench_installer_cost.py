@@ -1,0 +1,69 @@
+"""Installation (transformation) cost.
+
+§4.3: "The cost of transforming the programs including PLTO
+optimizations ranged from 3.49 seconds for vpr to 86.17 seconds for
+gcc."  The comparable claim is *shape*: installation cost is a one-time
+offline cost that grows with program size (call sites to analyze and
+rewrite, strings to authenticate), and is irrelevant to runtime.
+
+We measure host wall-clock for the full install pipeline over the
+profile corpus (ordered by size) and assert monotonicity in sites.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.installer import install
+from repro.workloads import build_profile_program
+from repro.workloads.profiles import PROFILE_PROGRAMS
+from benchmarks.conftest import BENCH_KEY
+
+#: Paper's published endpoints for context.
+PAPER_RANGE = (3.49, 86.17)
+
+
+@pytest.mark.benchmark(group="installer")
+def test_installation_cost(benchmark, report):
+    programs = ["bison", "calc", "tar", "screen"]  # ascending site count
+
+    def run_suite():
+        measured = {}
+        for name in programs:
+            binary = build_profile_program(name, "linux")
+            started = time.perf_counter()
+            installed = install(binary, BENCH_KEY)
+            elapsed = time.perf_counter() - started
+            measured[name] = (elapsed, installed.sites_rewritten)
+        return measured
+
+    measured = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            PROFILE_PROGRAMS[name].target.sites,
+            measured[name][1],
+            f"{measured[name][0]:.2f}s",
+        ]
+        for name in programs
+    ]
+    rows.append([
+        "(paper range: vpr 3.49s ... gcc 86.17s on 2003-era hardware)",
+        "-", "-", "-",
+    ])
+    report(
+        "installer_cost",
+        format_table(
+            ["program", "sites (paper)", "sites rewritten", "install time (host)"],
+            rows,
+            title="Installation cost: one-time offline transformation",
+        ),
+    )
+
+    # Shape: every site got rewritten, and cost grows with program size.
+    for name in programs:
+        assert measured[name][1] == PROFILE_PROGRAMS[name].target.sites
+    times = [measured[name][0] for name in programs]
+    assert times[-1] > times[0], "screen should cost more than bison"

@@ -1,0 +1,27 @@
+"""Reporting helpers: render paper-style tables and comparisons."""
+
+from repro.analysis.tables import (
+    Cell,
+    format_table,
+    paper_vs_measured,
+    percent_delta,
+)
+from repro.analysis.stats import (
+    geometric_mean,
+    overhead_percent,
+    paper_table4_aggregate,
+    sample_stddev,
+    trimmed_mean,
+)
+
+__all__ = [
+    "Cell",
+    "format_table",
+    "geometric_mean",
+    "overhead_percent",
+    "paper_table4_aggregate",
+    "paper_vs_measured",
+    "percent_delta",
+    "sample_stddev",
+    "trimmed_mean",
+]

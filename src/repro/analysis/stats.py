@@ -1,0 +1,58 @@
+"""Statistical helpers matching the paper's aggregation methodology.
+
+§4.3: "Each experiment was repeated 12 times; the highest and lowest
+readings were discarded, and the average of the remaining 10 readings
+is used in the table" — i.e. a 1-element-per-tail trimmed mean.  Our
+substrate is deterministic (12 reps are identical), but the helpers
+exist so the harness methodology is explicit and reusable, and so
+non-deterministic forks of the simulator aggregate the same way the
+paper did.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def trimmed_mean(samples: Sequence[float], trim: int = 1) -> float:
+    """Mean after discarding the ``trim`` highest and lowest samples."""
+    if trim < 0:
+        raise ValueError("trim must be non-negative")
+    if len(samples) <= 2 * trim:
+        raise ValueError(
+            f"need more than {2 * trim} samples to trim {trim} per tail"
+        )
+    kept = sorted(samples)[trim : len(samples) - trim] if trim else sorted(samples)
+    return sum(kept) / len(kept)
+
+
+def paper_table4_aggregate(samples: Sequence[float]) -> float:
+    """The exact Table 4 procedure: 12 reps, drop high and low, mean."""
+    if len(samples) != 12:
+        raise ValueError(f"Table 4 methodology uses 12 reps, got {len(samples)}")
+    return trimmed_mean(samples, trim=1)
+
+
+def sample_stddev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1), as Tables 6's Std. Dev. columns."""
+    if len(samples) < 2:
+        return 0.0
+    mean = sum(samples) / len(samples)
+    return math.sqrt(sum((s - mean) ** 2 for s in samples) / (len(samples) - 1))
+
+
+def overhead_percent(baseline: float, measured: float) -> float:
+    """The overhead columns: 100 * (measured - baseline) / baseline."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (measured - baseline) / baseline
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional SPEC aggregate."""
+    if not values:
+        raise ValueError("no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench prints the rows the paper's corresponding table reports,
+side by side with the paper's published values, so a reader can check
+the *shape* claims (who wins, by what factor) at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rendered)) if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent_delta(measured: float, paper: float) -> Optional[float]:
+    """Relative deviation of measured from paper, in percent."""
+    if paper == 0:
+        return None
+    return 100.0 * (measured - paper) / paper
+
+
+def paper_vs_measured(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[tuple],
+) -> str:
+    """Render rows of (label, paper value, measured value) triples."""
+    table_rows = []
+    for label, paper, measured in rows:
+        delta = (
+            percent_delta(measured, paper)
+            if isinstance(paper, (int, float)) and isinstance(measured, (int, float))
+            else None
+        )
+        table_rows.append(
+            [label, paper, measured, f"{delta:+.1f}%" if delta is not None else "-"]
+        )
+    return format_table(
+        [headers[0], "paper", "measured", "delta"], table_rows, title=title
+    )

@@ -1,0 +1,17 @@
+"""Assembler for SVM32.
+
+Two front-ends share one code path:
+
+- :func:`assemble` -- a classic two-pass text assembler producing a
+  relocatable :class:`repro.binfmt.SefBinary`;
+- :class:`AsmBuilder` -- a programmatic DSL used by
+  :mod:`repro.workloads` to synthesize benchmark programs; it renders
+  to assembly text and runs the text assembler, so everything that can
+  be built can also be read.
+"""
+
+from repro.asm.parser import AsmSyntaxError, parse
+from repro.asm.assembler import AsmError, assemble
+from repro.asm.builder import AsmBuilder
+
+__all__ = ["AsmBuilder", "AsmError", "AsmSyntaxError", "assemble", "parse"]

@@ -1,0 +1,145 @@
+"""AsmBuilder: a programmatic assembly-generation DSL.
+
+The workload corpus (:mod:`repro.workloads`) synthesizes benchmark
+programs in Python; this builder renders them to assembly text so the
+result is always inspectable and goes through the same parser and
+assembler as hand-written programs.
+
+Example::
+
+    b = AsmBuilder("hello")
+    b.section(".text")
+    b.global_("_start")
+    b.label("_start")
+    b.li("r0", "SYS_write")
+    b.li("r1", 1)
+    b.li("r2", "msg")
+    b.li("r3", 13)
+    b.sys()
+    b.halt()
+    b.section(".rodata")
+    b.label("msg")
+    b.asciz("Hello, world\\n")
+    binary = b.assemble()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.asm.assembler import assemble
+from repro.binfmt import SefBinary
+from repro.isa.opcodes import MNEMONIC_TO_OP
+
+Operand = Union[int, str]
+
+
+def _render(operand: Operand) -> str:
+    if isinstance(operand, bool):
+        raise TypeError("bool is not a valid operand")
+    if isinstance(operand, int):
+        return str(operand)
+    return operand
+
+
+class AsmBuilder:
+    """Accumulates assembly lines and renders/assembles them."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._lines: list[str] = []
+        self._label_counter = 0
+
+    # -- structural ----------------------------------------------------
+
+    def raw(self, line: str) -> "AsmBuilder":
+        self._lines.append(line)
+        return self
+
+    def comment(self, text: str) -> "AsmBuilder":
+        self._lines.append(f"    ; {text}")
+        return self
+
+    def section(self, name: str) -> "AsmBuilder":
+        self._lines.append(f".section {name}")
+        return self
+
+    def global_(self, name: str) -> "AsmBuilder":
+        self._lines.append(f".global {name}")
+        return self
+
+    def label(self, name: str) -> "AsmBuilder":
+        self._lines.append(f"{name}:")
+        return self
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Generate a unique local label name (not yet placed)."""
+        self._label_counter += 1
+        return f".{stem}{self._label_counter}"
+
+    def equ(self, name: str, value: int) -> "AsmBuilder":
+        self._lines.append(f".equ {name}, {value}")
+        return self
+
+    # -- data ----------------------------------------------------------
+
+    def asciz(self, text: str) -> "AsmBuilder":
+        escaped = (
+            text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+            .replace("\t", "\\t").replace("\r", "\\r").replace("\0", "\\0")
+        )
+        self._lines.append(f'    .asciz "{escaped}"')
+        return self
+
+    def word(self, *values: Operand) -> "AsmBuilder":
+        rendered = ", ".join(_render(v) for v in values)
+        self._lines.append(f"    .word {rendered}")
+        return self
+
+    def byte(self, *values: int) -> "AsmBuilder":
+        rendered = ", ".join(str(v) for v in values)
+        self._lines.append(f"    .byte {rendered}")
+        return self
+
+    def space(self, count: int) -> "AsmBuilder":
+        self._lines.append(f"    .space {count}")
+        return self
+
+    def align(self, boundary: int) -> "AsmBuilder":
+        self._lines.append(f"    .align {boundary}")
+        return self
+
+    # -- instructions (generated generically via __getattr__) -----------
+
+    def insn(self, mnemonic: str, *operands: Operand) -> "AsmBuilder":
+        rendered = ", ".join(_render(op) for op in operands)
+        self._lines.append(f"    {mnemonic} {rendered}".rstrip())
+        return self
+
+    def __getattr__(self, name: str):
+        mnemonic = name.rstrip("_")  # and_, or_ for keywords
+        if mnemonic in MNEMONIC_TO_OP:
+            def emit(*operands: Operand) -> "AsmBuilder":
+                return self.insn(mnemonic, *operands)
+
+            return emit
+        raise AttributeError(name)
+
+    def mem(self, base: str, disp: Union[int, str] = 0) -> str:
+        """Render a memory operand: ``mem('sp', 4)`` -> ``[sp+4]``."""
+        if isinstance(disp, int) and disp < 0:
+            return f"[{base}-{-disp}]"
+        return f"[{base}+{disp}]"
+
+    # -- output ---------------------------------------------------------
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def assemble(
+        self, entry: str = "_start", metadata: Optional[dict] = None
+    ) -> SefBinary:
+        meta = {"program": self.name}
+        if metadata:
+            meta.update(metadata)
+        return assemble(self.source(), entry=entry, metadata=meta)

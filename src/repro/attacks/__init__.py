@@ -1,0 +1,47 @@
+"""Attack experiments (§4.1, §5.5).
+
+The paper's victim is "a simple program that reads in a file name and
+invokes the /bin/ls program on the input.  The file name is read into a
+stack allocated buffer, which can be overflowed by an attacker to gain
+control of the program."  :mod:`repro.attacks.victim` builds that
+program; :mod:`repro.attacks.scenarios` mounts the attacks:
+
+1. **shellcode** -- classic stack smashing: inject code that issues a
+   raw ``SYS execve("/bin/sh")``.  Blocked: the new call is
+   unauthenticated (no policy argument or MAC).
+2. **mimicry** -- replay an *existing* authenticated call out of
+   context.  Blocked: call-graph (predecessor-set) and call-site
+   policies fail.
+3. **non-control-data** -- overwrite the constant ``"/bin/ls"``
+   argument with ``"/bin/sh"``.  Blocked: the authenticated-string MAC
+   fails.
+4. **Frankenstein** (§5.5) -- splice authenticated calls from two
+   applications into one.  Succeeds without per-program block ids;
+   blocked when the installer namespaces block identifiers.
+5. **replay** -- restore a stale ``lastBlock``/``lbMAC`` snapshot.
+   Blocked: the kernel-resident counter is a nonce the attacker cannot
+   rewind.
+"""
+
+from repro.attacks.victim import build_victim, build_frankenstein_pair
+from repro.attacks.scenarios import (
+    AttackResult,
+    frankenstein_attack,
+    mimicry_attack,
+    non_control_data_attack,
+    replay_attack,
+    run_all_attacks,
+    shellcode_attack,
+)
+
+__all__ = [
+    "AttackResult",
+    "build_frankenstein_pair",
+    "build_victim",
+    "frankenstein_attack",
+    "mimicry_attack",
+    "non_control_data_attack",
+    "replay_attack",
+    "run_all_attacks",
+    "shellcode_attack",
+]

@@ -1,0 +1,76 @@
+"""Victim programs for the attack experiments."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.binfmt import SefBinary
+from repro.workloads.runtime import runtime_source
+
+#: Size of the vulnerable stack buffer.
+BUFFER_SIZE = 64
+#: How many bytes the victim is willing to read into it (the bug).
+READ_LIMIT = 256
+
+
+def victim_source(exec_path: str = "/bin/ls") -> str:
+    """The §4.1 victim: read a file name, then execve a fixed program.
+
+    ``get_name`` allocates a {buffer}-byte stack buffer but reads up to
+    {limit} bytes into it; bytes past the buffer overwrite the saved
+    return address (SVM32 CALL pushes the return PC, like x86)."""
+    return f"""
+.section .text
+.global _start
+_start:
+    call get_name
+    ; open the named file first (a normal-behaviour call)
+    li r1, namebuf
+    li r2, 0
+    call sys_open
+    ; run the lister on it
+    li r1, exec_path
+    li r2, 0
+    li r3, 0
+    call sys_execve
+    li r1, 0
+    call sys_exit
+
+get_name:
+    subi sp, sp, {BUFFER_SIZE}
+    li r1, 0             ; stdin
+    mov r2, sp           ; the stack buffer
+    li r3, {READ_LIMIT}  ; BUG: reads past the buffer
+    call sys_read
+    ; keep a copy of the name for open()
+    li r1, namebuf
+    mov r2, sp
+    li r3, {BUFFER_SIZE}
+    call rt_memcpy
+    addi sp, sp, {BUFFER_SIZE}
+    ret
+
+.section .rodata
+exec_path:
+    .asciz "{exec_path}"
+.section .bss
+namebuf:
+    .space {BUFFER_SIZE}
+""" + runtime_source("linux", ("read", "open", "execve", "exit"))
+
+
+def build_victim(exec_path: str = "/bin/ls") -> SefBinary:
+    return assemble(
+        victim_source(exec_path), metadata={"program": "victim"}
+    )
+
+
+def build_frankenstein_pair() -> tuple[SefBinary, SefBinary]:
+    """Two structurally identical programs differing only in string
+    contents (§5.5 requires same-layout donors so records transplant).
+
+    Program A execs the benign ``/bin/ls``; program B (imagine it is a
+    legitimately installed admin tool) execs ``/bin/sh``.  Both paths
+    have equal length so every section offset coincides."""
+    a = assemble(victim_source("/bin/ls"), metadata={"program": "frank-a"})
+    b = assemble(victim_source("/bin/sh"), metadata={"program": "frank-b"})
+    return a, b

@@ -1,0 +1,38 @@
+"""SEF: the Simple Executable Format.
+
+A relocatable ELF-like container.  PLTO requires relocatable binaries
+(binaries in which the locations of addresses are marked) so that code
+and data can be moved during rewriting; SEF inherits that requirement
+faithfully: every address constant in code or data carries a relocation
+entry naming a symbol and addend.
+
+The installer consumes a relocatable SEF binary and (as in the paper)
+emits a *non-relocatable, statically linked* image for execution — the
+policies embed absolute call-site addresses, so the output of
+installation is position-dependent by design.
+"""
+
+from repro.binfmt.sections import (
+    SEC_ALLOC,
+    SEC_EXEC,
+    SEC_READ,
+    SEC_WRITE,
+    Section,
+)
+from repro.binfmt.symbols import Relocation, Symbol
+from repro.binfmt.binary import BinaryFormatError, SefBinary
+from repro.binfmt.image import LoadedImage, link
+
+__all__ = [
+    "BinaryFormatError",
+    "LoadedImage",
+    "Relocation",
+    "SEC_ALLOC",
+    "SEC_EXEC",
+    "SEC_READ",
+    "SEC_WRITE",
+    "Section",
+    "SefBinary",
+    "Symbol",
+    "link",
+]

@@ -1,0 +1,85 @@
+"""Sections of a SEF binary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SEC_READ = 0x1
+SEC_WRITE = 0x2
+SEC_EXEC = 0x4
+SEC_ALLOC = 0x8
+
+#: Flags for the conventional sections, including those added by the
+#: installer (.authstr holds authenticated strings, .authdata holds
+#: per-call-site authentication records and call MACs, .polstate holds
+#: the writable lastBlock/lbMAC policy state).
+DEFAULT_SECTION_FLAGS = {
+    ".text": SEC_READ | SEC_EXEC | SEC_ALLOC,
+    ".rodata": SEC_READ | SEC_ALLOC,
+    ".data": SEC_READ | SEC_WRITE | SEC_ALLOC,
+    ".bss": SEC_READ | SEC_WRITE | SEC_ALLOC,
+    ".authstr": SEC_READ | SEC_ALLOC,
+    ".authdata": SEC_READ | SEC_ALLOC,
+    ".polstate": SEC_READ | SEC_WRITE | SEC_ALLOC,
+}
+
+
+@dataclass
+class Section:
+    """A named chunk of the binary.
+
+    ``nobits`` sections (.bss) occupy address space but no file bytes;
+    ``data`` then only records the size via ``reserve``.
+    """
+
+    name: str
+    flags: int
+    data: bytearray = field(default_factory=bytearray)
+    nobits: bool = False
+    reserve: int = 0  # size of a nobits section
+    align: int = 16
+
+    def __post_init__(self) -> None:
+        if self.nobits and self.data:
+            raise ValueError(f"nobits section {self.name!r} cannot carry data")
+        if not isinstance(self.data, bytearray):
+            self.data = bytearray(self.data)
+
+    @classmethod
+    def named(cls, name: str, **kwargs) -> "Section":
+        """Create a section with the conventional flags for its name."""
+        try:
+            flags = DEFAULT_SECTION_FLAGS[name]
+        except KeyError:
+            raise ValueError(
+                f"no default flags for section {name!r}; pass flags explicitly"
+            ) from None
+        return cls(name=name, flags=flags, **kwargs)
+
+    @property
+    def size(self) -> int:
+        return self.reserve if self.nobits else len(self.data)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & SEC_WRITE)
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & SEC_EXEC)
+
+    def append(self, blob: bytes) -> int:
+        """Append bytes, returning the offset at which they start."""
+        if self.nobits:
+            raise ValueError(f"cannot append data to nobits section {self.name!r}")
+        offset = len(self.data)
+        self.data.extend(blob)
+        return offset
+
+    def reserve_bytes(self, count: int) -> int:
+        """Grow a nobits section; returns the offset of the reservation."""
+        if not self.nobits:
+            return self.append(bytes(count))
+        offset = self.reserve
+        self.reserve += count
+        return offset

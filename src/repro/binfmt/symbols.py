@@ -1,0 +1,48 @@
+"""Symbols and relocations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BIND_LOCAL = "local"
+BIND_GLOBAL = "global"
+
+#: Relocation types.  ABS32 patches a 32-bit little-endian word at
+#: (section, offset) with the absolute address of symbol+addend.  This
+#: is the only type SVM32 needs: instruction immediates and data words
+#: are both 32-bit absolute.
+R_ABS32 = "abs32"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named location: ``section`` + ``offset`` (resolved at link)."""
+
+    name: str
+    section: str
+    offset: int
+    binding: str = BIND_LOCAL
+
+    def __post_init__(self) -> None:
+        if self.binding not in (BIND_LOCAL, BIND_GLOBAL):
+            raise ValueError(f"bad symbol binding {self.binding!r}")
+        if self.offset < 0:
+            raise ValueError(f"negative symbol offset for {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """Marks an address constant: patch ``section[offset:offset+4]``
+    with ``addr(symbol) + addend`` at link time."""
+
+    section: str
+    offset: int
+    symbol: str
+    addend: int = 0
+    type: str = R_ABS32
+
+    def __post_init__(self) -> None:
+        if self.type != R_ABS32:
+            raise ValueError(f"unsupported relocation type {self.type!r}")
+        if self.offset < 0:
+            raise ValueError("negative relocation offset")

@@ -1,0 +1,34 @@
+"""SVM32 virtual machine with deterministic cycle accounting.
+
+Replaces the Pentium testbed of §4.3.  The VM executes one process
+image, charges each instruction its documented cycle cost, and traps
+``SYS``/``ASYS`` into a kernel handler supplied by
+:mod:`repro.kernel`.  ``RDTSC`` exposes the cycle counter to guest
+code exactly the way the paper's microbenchmarks use the hardware
+timestamp counter.
+
+Era fidelity: like the 2005-vintage x86/Linux the paper targets, there
+is no NX bit by default — readable memory is executable, which is what
+makes the §4.1 code-injection attacks expressible.
+"""
+
+from repro.cpu.memory import (
+    MemoryFault,
+    Memory,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.cpu.vm import ExecutionFault, ProcessExit, TrapHandler, VM
+
+__all__ = [
+    "ExecutionFault",
+    "Memory",
+    "MemoryFault",
+    "PROT_EXEC",
+    "PROT_READ",
+    "PROT_WRITE",
+    "ProcessExit",
+    "TrapHandler",
+    "VM",
+]

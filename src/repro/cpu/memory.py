@@ -1,0 +1,165 @@
+"""Process memory: a sparse set of protected regions.
+
+Regions are mapped with read/write/execute protections derived from the
+binary's section flags.  User-mode accesses are permission-checked; the
+kernel (and the attack harness, which models memory corruption already
+achieved through an application bug) can bypass checks with
+``force=True`` — precisely mirroring the paper's threat model, where
+the attacker controls application memory but not kernel state.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_EXEC = 0x4
+
+
+class MemoryFault(Exception):
+    """An access violation: unmapped address or protection mismatch."""
+
+    def __init__(self, address: int, kind: str):
+        super().__init__(f"memory fault: {kind} at {address:#010x}")
+        self.address = address
+        self.kind = kind
+
+
+@dataclass
+class Region:
+    start: int
+    data: bytearray
+    prot: int
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.data)
+
+
+class Memory:
+    """Sparse 32-bit address space."""
+
+    def __init__(self) -> None:
+        self._regions: list[Region] = []  # sorted by start
+        self._starts: list[int] = []
+
+    # -- mapping -------------------------------------------------------
+
+    def map_region(
+        self, start: int, size: int, prot: int, name: str = "", data: bytes = b""
+    ) -> Region:
+        if size <= 0:
+            raise ValueError(f"cannot map empty region {name!r}")
+        if len(data) > size:
+            raise ValueError(f"region {name!r}: data larger than size")
+        end = start + size
+        if start < 0 or end > 0x1_0000_0000:
+            raise ValueError(f"region {name!r} outside 32-bit address space")
+        for region in self._regions:
+            if start < region.end and region.start < end:
+                raise ValueError(
+                    f"region {name!r} [{start:#x},{end:#x}) overlaps "
+                    f"{region.name!r} [{region.start:#x},{region.end:#x})"
+                )
+        body = bytearray(size)
+        body[: len(data)] = data
+        region = Region(start=start, data=body, prot=prot, name=name)
+        index = bisect_right(self._starts, start)
+        self._regions.insert(index, region)
+        self._starts.insert(index, start)
+        return region
+
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def region_at(self, address: int) -> Region:
+        index = bisect_right(self._starts, address) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if region.start <= address < region.end:
+                return region
+        raise MemoryFault(address, "unmapped")
+
+    def find_region(self, name: str) -> Region:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named {name!r}")
+
+    def protect(self, start: int, prot: int) -> None:
+        """Change protection of the region containing ``start``."""
+        self.region_at(start).prot = prot
+
+    def grow_region(self, name: str, new_size: int) -> None:
+        """Extend a region in place (used by ``brk``)."""
+        region = self.find_region(name)
+        if new_size < len(region.data):
+            del region.data[new_size:]
+            return
+        index = self._starts.index(region.start)
+        if index + 1 < len(self._regions):
+            limit = self._regions[index + 1].start - region.start
+            if new_size > limit:
+                raise MemoryFault(region.start + new_size, "brk collision")
+        region.data.extend(bytes(new_size - len(region.data)))
+
+    # -- access --------------------------------------------------------
+
+    def _check(self, region: Region, prot: int, address: int) -> None:
+        if region.prot & prot != prot:
+            kinds = {PROT_READ: "read", PROT_WRITE: "write", PROT_EXEC: "exec"}
+            raise MemoryFault(address, f"protection ({kinds.get(prot, prot)})")
+
+    def read(self, address: int, size: int, force: bool = False) -> bytes:
+        region = self.region_at(address)
+        if address + size > region.end:
+            raise MemoryFault(region.end, "unmapped")
+        if not force:
+            self._check(region, PROT_READ, address)
+        offset = address - region.start
+        return bytes(region.data[offset : offset + size])
+
+    def write(self, address: int, data: bytes, force: bool = False) -> None:
+        region = self.region_at(address)
+        if address + len(data) > region.end:
+            raise MemoryFault(region.end, "unmapped")
+        if not force:
+            self._check(region, PROT_WRITE, address)
+        offset = address - region.start
+        region.data[offset : offset + len(data)] = data
+
+    def read_u32(self, address: int, force: bool = False) -> int:
+        return struct.unpack("<I", self.read(address, 4, force))[0]
+
+    def write_u32(self, address: int, value: int, force: bool = False) -> None:
+        self.write(address, struct.pack("<I", value & 0xFFFFFFFF), force)
+
+    def read_u8(self, address: int, force: bool = False) -> int:
+        return self.read(address, 1, force)[0]
+
+    def write_u8(self, address: int, value: int, force: bool = False) -> None:
+        self.write(address, bytes([value & 0xFF]), force)
+
+    def read_cstring(self, address: int, max_len: int = 4096, force: bool = False) -> bytes:
+        """Read a NUL-terminated string; raises MemoryFault if it runs
+        off the end of mapped memory or exceeds ``max_len``."""
+        out = bytearray()
+        cursor = address
+        while len(out) < max_len:
+            byte = self.read(cursor, 1, force)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        raise MemoryFault(address, f"unterminated string (>{max_len} bytes)")
+
+    def executable(self, address: int) -> bool:
+        try:
+            region = self.region_at(address)
+        except MemoryFault:
+            return False
+        return bool(region.prot & PROT_EXEC)

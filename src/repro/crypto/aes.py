@@ -1,0 +1,196 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+Only encryption of single 16-byte blocks is required by the CMAC
+construction, but decryption is provided for completeness and to allow
+the round-trip property tests in ``tests/crypto``.
+
+The implementation is a straightforward table-free version: the S-box is
+precomputed, and MixColumns uses xtime (multiplication by 2 in GF(2^8)).
+Clarity is preferred over raw speed; hot benchmark paths can opt into
+:class:`repro.crypto.fastmac.FastMac` instead.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+
+_SBOX = [0] * 256
+_INV_SBOX = [0] * 256
+
+
+def _initialise_sboxes() -> None:
+    """Build the AES S-box from the multiplicative inverse in GF(2^8).
+
+    Computing the table (rather than embedding 256 literals) keeps the
+    derivation auditable and doubles as a self-check: the affine
+    transform and inverse must agree with the published fixed points
+    (``SBOX[0x00] == 0x63``), which the unit tests assert.
+    """
+    p = q = 1
+    # 3 is a generator of GF(2^8)*; walk the log/antilog cycle.
+    while True:
+        # p := p * 3
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        # q := q / 3
+        q ^= q << 1
+        q ^= q << 2
+        q ^= q << 4
+        q &= 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        s = q ^ _rotl8(q, 1) ^ _rotl8(q, 2) ^ _rotl8(q, 3) ^ _rotl8(q, 4) ^ 0x63
+        _SBOX[p] = s
+        _INV_SBOX[s] = p
+        if p == 1:
+            break
+    _SBOX[0] = 0x63
+    _INV_SBOX[0x63] = 0
+
+
+def _rotl8(x: int, shift: int) -> int:
+    return ((x << shift) | (x >> (8 - shift))) & 0xFF
+
+
+_initialise_sboxes()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """General multiplication in GF(2^8); used only by decryption."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES:
+    """AES-128 over 16-byte blocks.
+
+    >>> key = bytes(range(16))
+    >>> cipher = AES(key)
+    >>> block = b"authenticated!!!"
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    rounds = 10
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES.rounds + 1)):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ p for w, p in zip(word, words[i - 4])])
+        round_keys = []
+        for r in range(AES.rounds + 1):
+            rk: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- state helpers -------------------------------------------------
+    #
+    # The state is kept as a flat list of 16 bytes in column-major order
+    # (byte i of the input maps to row i%4, column i//4), matching the
+    # FIPS-197 layout so ShiftRows indices below are the standard ones.
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    # Row r of the state lives at indices r, r+4, r+8, r+12.
+    _SHIFT_ROWS = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+    _INV_SHIFT_ROWS = [0, 13, 10, 7, 4, 1, 14, 11, 8, 5, 2, 15, 12, 9, 6, 3]
+
+    @classmethod
+    def _shift_rows(cls, state: list[int]) -> list[int]:
+        return [state[i] for i in cls._SHIFT_ROWS]
+
+    @classmethod
+    def _inv_shift_rows(cls, state: list[int]) -> list[int]:
+        return [state[i] for i in cls._INV_SHIFT_ROWS]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            t = a0 ^ a1 ^ a2 ^ a3
+            state[c + 0] = a0 ^ t ^ _xtime(a0 ^ a1)
+            state[c + 1] = a1 ^ t ^ _xtime(a1 ^ a2)
+            state[c + 2] = a2 ^ t ^ _xtime(a2 ^ a3)
+            state[c + 3] = a3 ^ t ^ _xtime(a3 ^ a0)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            state[c + 0] = _gmul(a0, 14) ^ _gmul(a1, 11) ^ _gmul(a2, 13) ^ _gmul(a3, 9)
+            state[c + 1] = _gmul(a0, 9) ^ _gmul(a1, 14) ^ _gmul(a2, 11) ^ _gmul(a3, 13)
+            state[c + 2] = _gmul(a0, 13) ^ _gmul(a1, 9) ^ _gmul(a2, 14) ^ _gmul(a3, 11)
+            state[c + 3] = _gmul(a0, 11) ^ _gmul(a1, 13) ^ _gmul(a2, 9) ^ _gmul(a3, 14)
+
+    # -- public API ----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        for r in range(self.rounds - 1, 0, -1):
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

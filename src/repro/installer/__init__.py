@@ -1,0 +1,39 @@
+"""The trusted installer (§3.3).
+
+Reads a relocatable SEF binary, derives per-call-site policies by
+static analysis, and rewrites the binary to use authenticated system
+calls.  See :func:`repro.installer.core.install` for the pipeline and
+:mod:`repro.installer.dynlib` for dynamic-library processing (§5.2).
+"""
+
+from repro.installer.core import (
+    InstallError,
+    InstalledProgram,
+    InstallerOptions,
+    generate_policy_only,
+    install,
+)
+from repro.installer.policygen import (
+    AnalysisResult,
+    GenerationOptions,
+    PolicyGenerationError,
+    analyze,
+    generate_policies,
+)
+from repro.installer.signatures import SIGNATURES, SyscallSignature, signature_for
+
+__all__ = [
+    "AnalysisResult",
+    "GenerationOptions",
+    "InstallError",
+    "InstalledProgram",
+    "InstallerOptions",
+    "PolicyGenerationError",
+    "SIGNATURES",
+    "SyscallSignature",
+    "analyze",
+    "generate_policies",
+    "generate_policy_only",
+    "install",
+    "signature_for",
+]

@@ -1,0 +1,109 @@
+"""Dynamic-library processing (§5.2).
+
+With dynamic libraries, call sites are unknown until load time and
+argument values often arrive via library-function parameters, so the
+basic approach cannot produce complete policies for every function.
+The paper's procedure:
+
+    "The dynamic libraries on a machine are installed first ...  if a
+    system call in a dynamic library function cannot satisfy the
+    metapolicy — that is, static analysis cannot generate a complete
+    policy — the specific function is removed from the dynamic library
+    and set aside for static linking with application programs that
+    require the function.  Once this has been done for all system
+    calls in the library, the functions that remain have their system
+    calls transformed into authenticated calls in the same manner as
+    before."
+
+A library here is a collection of named functions, each a small
+relocatable binary (SVM32 has no dynamic loader; what matters — and
+what this module implements — is the *triage*: which functions can be
+protected in-place under a given metapolicy and which must be
+withdrawn for static linking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.binfmt import SefBinary
+from repro.installer.core import InstallerOptions, generate_policy_only
+from repro.plto.ir import DisassemblyError
+from repro.policy.metapolicy import MetaPolicy
+
+
+@dataclass
+class LibraryFunction:
+    """One exported function, packaged as a standalone analyzable unit."""
+
+    name: str
+    binary: SefBinary
+
+
+@dataclass
+class DynamicLibrary:
+    name: str
+    functions: list = field(default_factory=list)
+
+    def add(self, function: LibraryFunction) -> None:
+        self.functions.append(function)
+
+
+@dataclass
+class LibraryInstallReport:
+    """Outcome of processing one library under a metapolicy."""
+
+    library: str
+    #: Functions whose every call site satisfies the metapolicy; these
+    #: stay in the shared library with authenticated calls.
+    protected: list = field(default_factory=list)
+    #: Functions withdrawn for static linking, with the reason.
+    withdrawn: dict = field(default_factory=dict)
+
+    @property
+    def protected_fraction(self) -> float:
+        total = len(self.protected) + len(self.withdrawn)
+        return len(self.protected) / total if total else 1.0
+
+
+def process_library(
+    library: DynamicLibrary,
+    metapolicy: Optional[MetaPolicy] = None,
+    options: Optional[InstallerOptions] = None,
+) -> LibraryInstallReport:
+    """Triage a library's functions under the machine metapolicy.
+
+    Note §5.2's constraint: a shared library serves many applications
+    but is installed once, so "this metapolicy must be as strict as the
+    metapolicies of the applications that use the library" — callers
+    pass the machine-wide strictest metapolicy here."""
+    metapolicy = metapolicy or MetaPolicy.high_threat_default()
+    options = options or InstallerOptions()
+    report = LibraryInstallReport(library=library.name)
+
+    for function in library.functions:
+        try:
+            policy = generate_policy_only(function.binary, options)
+        except DisassemblyError as err:
+            report.withdrawn[function.name] = f"cannot disassemble: {err}"
+            continue
+        if policy.unidentified_sites:
+            report.withdrawn[function.name] = (
+                f"{len(policy.unidentified_sites)} call site(s) with "
+                "unidentifiable syscall numbers"
+            )
+            continue
+        unmet = []
+        for site_policy in policy.sites.values():
+            missing = metapolicy.unmet_requirements(site_policy)
+            if missing:
+                unmet.append((site_policy.syscall, missing))
+        if unmet:
+            rendered = "; ".join(
+                f"{syscall} missing params {missing}" for syscall, missing in unmet
+            )
+            report.withdrawn[function.name] = f"metapolicy unmet: {rendered}"
+        else:
+            report.protected.append(function.name)
+    return report

@@ -1,0 +1,133 @@
+"""Per-syscall argument signatures used by policy generation.
+
+The installer needs to know, for each system call, how many arguments
+it takes, which are *output-only* (addresses the kernel writes results
+into — Table 3's ``o/p`` column; never constrained), which take file
+descriptors (candidates for §5.3 capability tracking), and which take
+path/string pointers (AS candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SyscallSignature:
+    name: str
+    nargs: int
+    #: Output-only argument indices (kernel writes through the pointer).
+    outputs: frozenset = frozenset()
+    #: Arguments that are file descriptors returned by earlier calls.
+    fd_args: frozenset = frozenset()
+    #: Arguments that are NUL-terminated string/path pointers.
+    string_args: frozenset = frozenset()
+
+
+def _sig(name, nargs, outputs=(), fd_args=(), string_args=()):
+    return SyscallSignature(
+        name=name,
+        nargs=nargs,
+        outputs=frozenset(outputs),
+        fd_args=frozenset(fd_args),
+        string_args=frozenset(string_args),
+    )
+
+
+SIGNATURES: dict[str, SyscallSignature] = {
+    s.name: s
+    for s in [
+        _sig("exit", 1),
+        _sig("read", 3, outputs=(1,), fd_args=(0,)),
+        _sig("write", 3, fd_args=(0,)),
+        _sig("open", 3, string_args=(0,)),
+        _sig("close", 1, fd_args=(0,)),
+        _sig("unlink", 1, string_args=(0,)),
+        _sig("execve", 3, string_args=(0,)),
+        _sig("chdir", 1, string_args=(0,)),
+        _sig("time", 1, outputs=(0,)),
+        _sig("chmod", 2, string_args=(0,)),
+        _sig("lseek", 3, fd_args=(0,)),
+        _sig("getpid", 0),
+        _sig("getuid", 0),
+        _sig("access", 2, string_args=(0,)),
+        _sig("kill", 2),
+        _sig("rename", 2, string_args=(0, 1)),
+        _sig("mkdir", 2, string_args=(0,)),
+        _sig("rmdir", 1, string_args=(0,)),
+        _sig("dup", 1, fd_args=(0,)),
+        _sig("pipe", 1, outputs=(0,)),
+        _sig("brk", 1),
+        _sig("geteuid", 0),
+        _sig("ioctl", 3, fd_args=(0,)),
+        _sig("fcntl", 3, fd_args=(0,)),
+        _sig("umask", 1),
+        _sig("dup2", 2, fd_args=(0, 1)),
+        _sig("getppid", 0),
+        _sig("sigaction", 3, outputs=(2,)),
+        _sig("gettimeofday", 2, outputs=(0, 1)),
+        _sig("symlink", 2, string_args=(0, 1)),
+        _sig("readlink", 3, outputs=(1,), string_args=(0,)),
+        _sig("mmap", 6, fd_args=(4,)),
+        _sig("munmap", 2),
+        _sig("socket", 3),
+        _sig("fstatfs", 2, outputs=(1,), fd_args=(0,)),
+        _sig("stat", 2, outputs=(1,), string_args=(0,)),
+        _sig("fstat", 2, outputs=(1,), fd_args=(0,)),
+        _sig("uname", 1, outputs=(0,)),
+        _sig("sendto", 6, fd_args=(0,)),
+        _sig("writev", 3, fd_args=(0,)),
+        _sig("nanosleep", 2, outputs=(1,)),
+        _sig("getdirentries", 4, outputs=(1, 3), fd_args=(0,)),
+        # The OpenBSD indirect syscall: arg 0 is the real number; the
+        # rest are opaque (they belong to the inner call).
+        _sig("__syscall", 6),
+        _sig("sysconf", 1),
+        _sig("madvise", 3),
+        _sig("link", 2, string_args=(0, 1)),
+        _sig("alarm", 1),
+        _sig("utime", 2, string_args=(0,)),
+        _sig("sync", 0),
+        _sig("times", 1, outputs=(0,)),
+        _sig("getgid", 0),
+        _sig("getegid", 0),
+        _sig("setuid", 1),
+        _sig("setgid", 1),
+        _sig("getpgrp", 0),
+        _sig("setsid", 0),
+        _sig("sigprocmask", 3, outputs=(2,)),
+        _sig("getrlimit", 2, outputs=(1,)),
+        _sig("setrlimit", 2),
+        _sig("getrusage", 2, outputs=(1,)),
+        _sig("truncate", 2, string_args=(0,)),
+        _sig("ftruncate", 2, fd_args=(0,)),
+        _sig("fchmod", 2, fd_args=(0,)),
+        _sig("fchown", 3, fd_args=(0,)),
+        _sig("chown", 3, string_args=(0,)),
+        _sig("getcwd", 2, outputs=(0,)),
+        _sig("fchdir", 1, fd_args=(0,)),
+        _sig("flock", 2, fd_args=(0,)),
+        _sig("fsync", 1, fd_args=(0,)),
+        _sig("select", 5, outputs=(1, 2, 3)),
+        _sig("poll", 3, outputs=(0,)),
+        _sig("mprotect", 3),
+        _sig("getpriority", 2),
+        _sig("setpriority", 3),
+        _sig("statfs", 2, outputs=(1,), string_args=(0,)),
+        _sig("getgroups", 2, outputs=(1,)),
+        _sig("sched_yield", 0),
+        _sig("wait4", 4, outputs=(1, 3)),
+        _sig("mlock", 2),
+        _sig("munlock", 2),
+        _sig("readv", 3, outputs=(1,), fd_args=(0,)),
+        _sig("spawn", 2, string_args=(0,)),
+    ]
+}
+
+
+def signature_for(name: str) -> SyscallSignature:
+    try:
+        return SIGNATURES[name]
+    except KeyError:
+        # Unknown calls are treated as 6 opaque arguments.
+        return SyscallSignature(name=name, nargs=6)

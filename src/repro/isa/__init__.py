@@ -1,0 +1,51 @@
+"""SVM32: the simulated 32-bit ISA used in place of IA-32.
+
+The paper's installer works on x86 binaries where system calls are the
+``int 0x80`` instruction with the system call number in ``EAX``.  SVM32
+preserves every property the installer's analyses rely on:
+
+- a trap instruction (``SYS``) with the syscall number in ``r0`` and
+  arguments in ``r1..r6``;
+- an *authenticated* trap instruction (``ASYS``) added by the installer,
+  which additionally carries a pointer to the in-binary authentication
+  record in ``r7``;
+- fixed-width (8-byte) instructions so call sites are stable,
+  disassembly is total, and binary rewriting is tractable;
+- stack-based return addresses (``CALL`` pushes the return PC), so the
+  classic stack-smashing attacks of §4.1 are expressible;
+- a cycle counter readable via ``RDTSC``, mirroring the Pentium
+  timestamp counter used for Table 4.
+"""
+
+from repro.isa.registers import (
+    FP,
+    LR,
+    NUM_REGS,
+    SP,
+    register_name,
+    register_number,
+)
+from repro.isa.opcodes import Op, OPCODE_INFO, OperandKind
+from repro.isa.instruction import Instruction, SymbolRef
+from repro.isa.encoding import (
+    INSTRUCTION_SIZE,
+    decode_instruction,
+    encode_instruction,
+)
+
+__all__ = [
+    "FP",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "LR",
+    "NUM_REGS",
+    "Op",
+    "OPCODE_INFO",
+    "OperandKind",
+    "SP",
+    "SymbolRef",
+    "decode_instruction",
+    "encode_instruction",
+    "register_name",
+    "register_number",
+]

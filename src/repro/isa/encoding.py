@@ -1,0 +1,76 @@
+"""Binary encoding of SVM32 instructions.
+
+Every instruction is exactly 8 bytes::
+
+    byte 0      opcode
+    byte 1..3   register fields (ra, rb, rc; unused fields are zero)
+    byte 4..7   32-bit little-endian immediate (zero when unused)
+
+The immediate lives at a fixed offset (+4), which is where relocation
+entries point.  A fixed-width encoding keeps disassembly total (PLTO's
+"cannot disassemble" case is modelled separately by the OpenBSD
+personality, see :mod:`repro.workloads.personalities`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODE_INFO, Op
+
+INSTRUCTION_SIZE = 8
+IMM_OFFSET = 4  # byte offset of the immediate field within an instruction
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+
+class EncodingError(ValueError):
+    """Raised for malformed instruction bytes or unencodable operands."""
+
+
+def encode_instruction(instruction: Instruction) -> bytes:
+    """Encode one instruction; the immediate must be concrete by now."""
+    if instruction.is_symbolic:
+        raise EncodingError(
+            f"cannot encode unresolved symbolic immediate: {instruction}"
+        )
+    regs = list(instruction.regs) + [0] * (3 - len(instruction.regs))
+    for reg in regs:
+        if not 0 <= reg <= 0xFF:
+            raise EncodingError(f"register field out of range: {reg}")
+    imm = instruction.imm or 0
+    imm &= 0xFFFFFFFF
+    return struct.pack("<BBBBI", int(instruction.op), *regs, imm)
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> Instruction:
+    """Decode 8 bytes at ``offset`` into an :class:`Instruction`."""
+    if len(data) - offset < INSTRUCTION_SIZE:
+        raise EncodingError(
+            f"truncated instruction at offset {offset}: "
+            f"{len(data) - offset} bytes remain"
+        )
+    opcode, ra, rb, rc, imm = struct.unpack_from("<BBBBI", data, offset)
+    if opcode not in _VALID_OPCODES:
+        raise EncodingError(f"unknown opcode 0x{opcode:02x} at offset {offset}")
+    op = Op(opcode)
+    info = OPCODE_INFO[op]
+    from repro.isa.opcodes import OperandKind
+
+    n_regs = sum(
+        1 for kind in info.operands if kind in (OperandKind.REG, OperandKind.MEM)
+    )
+    has_imm = any(
+        kind in (OperandKind.IMM, OperandKind.MEM) for kind in info.operands
+    )
+    regs = (ra, rb, rc)[:n_regs]
+    # Register fields above the architectural register count are
+    # illegal encodings (a fuzzed or corrupted instruction stream must
+    # fault, not index past the register file).
+    for reg in regs:
+        if reg >= 16:
+            raise EncodingError(
+                f"register field {reg} out of range at offset {offset}"
+            )
+    return Instruction(op, regs, imm if has_imm else None)

@@ -1,0 +1,41 @@
+"""Register file definition for SVM32.
+
+Sixteen 32-bit general-purpose registers.  ``r0`` carries the system
+call number at trap time (the EAX analogue), ``r1..r6`` carry syscall
+arguments, and ``r7`` carries the authentication-record pointer for
+``ASYS`` traps.  By software convention ``r13`` is the frame pointer,
+``r14`` the link scratch register, and ``r15`` the stack pointer.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 16
+
+FP = 13
+LR = 14
+SP = 15
+
+_ALIASES = {FP: "fp", LR: "lr", SP: "sp"}
+_ALIAS_NUMBERS = {name: num for num, name in _ALIASES.items()}
+
+
+def register_name(number: int) -> str:
+    """Render a register number in assembly syntax (``r4``, ``sp``...)."""
+    if not 0 <= number < NUM_REGS:
+        raise ValueError(f"register number out of range: {number}")
+    return _ALIASES.get(number, f"r{number}")
+
+
+def register_number(name: str) -> int:
+    """Parse an assembly register name, accepting aliases."""
+    name = name.lower().strip()
+    if name in _ALIAS_NUMBERS:
+        return _ALIAS_NUMBERS[name]
+    if name.startswith("r"):
+        try:
+            number = int(name[1:])
+        except ValueError:
+            raise ValueError(f"bad register name: {name!r}") from None
+        if 0 <= number < NUM_REGS:
+            return number
+    raise ValueError(f"bad register name: {name!r}")

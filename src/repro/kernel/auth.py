@@ -1,0 +1,310 @@
+"""System call checking (§3.4) — the kernel-patch analogue.
+
+The paper adds 248 lines to Linux's software trap handler to perform
+three checks on every authenticated call:
+
+1. check ``callMAC``;
+2. check the integrity of each string argument named in ``polDes``;
+3. check the control-flow policy (via the online memory checker).
+
+If all pass, the call proceeds; otherwise the process is terminated,
+the call is logged, and the administrator is alerted.  Unauthenticated
+calls from protected binaries are likewise blocked.
+
+This module is deliberately the *only* place that trusts nothing from
+the application: every pointer it follows is treated as hostile, every
+length is bounded, and every decision traces back to a MAC keyed with
+material the application cannot read.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.memory import MemoryFault
+from repro.cpu.vm import VM
+from repro.crypto import MacProvider
+from repro.kernel.costs import CostModel, mac_blocks
+from repro.kernel.process import Process
+from repro.policy.authstrings import read_authenticated_string
+from repro.policy.descriptor import PolicyDescriptor
+from repro.policy.encode import ParamEncoding, encode_policy, unpack_predecessor_set
+from repro.policy.patterns import Pattern, match_with_hint
+from repro.policy.record import (
+    AuthRecord,
+    pack_policy_state,
+    read_auth_record,
+    read_policy_state,
+    state_mac_payload,
+)
+
+#: Cap on the length of a *runtime* (pattern-matched) string argument;
+#: unlike AS arguments these carry no authenticated length, so the
+#: kernel bounds its own scan.
+MAX_RUNTIME_STRING = 4096
+
+MAX_HINT_WORDS = 32
+
+
+class AuthViolation(Exception):
+    """An authenticated-system-call check failed; the process dies."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a successful check."""
+
+    syscall_number: int
+    block_id: int
+    record: AuthRecord
+    #: Total AES blocks MAC'd during the check (drives the cycle cost).
+    mac_blocks: int
+    cycles: int
+    #: §5.3 capability constraint (verified-authentic): parameter
+    #: bitmask and the permitted producing-site block ids.
+    fd_mask: int = 0
+    fd_allowed: frozenset = frozenset()
+
+
+class AuthChecker:
+    """Stateless checker bound to the kernel's MAC provider."""
+
+    def __init__(self, provider: MacProvider, costs: CostModel):
+        self._provider = provider
+        self._costs = costs
+
+    # -- the three checks of §3.4 ---------------------------------------
+
+    def check(self, vm: VM, process: Process) -> CheckResult:
+        """Validate the ASYS trap currently pending on ``vm``.
+
+        Raises :class:`AuthViolation` if any check fails."""
+        blocks = 0
+        memory = vm.memory
+        syscall_number = vm.regs[0]
+        call_site = vm.pc
+        record_ptr = vm.regs[7]
+
+        try:
+            record = read_auth_record(memory, record_ptr)
+        except MemoryFault as fault:
+            raise AuthViolation(f"unreadable auth record: {fault}") from fault
+        descriptor = record.descriptor
+
+        # ---- Step 1: reconstruct the encoded call and check callMAC ----
+        params: list[ParamEncoding] = []
+        string_checks: list[tuple[int, object]] = []  # (index, AS)
+        pattern_cursor = 0
+        try:
+            for index in range(6):
+                is_pattern = descriptor.param_is_pattern(index)
+                if not descriptor.param_constrained(index) and not is_pattern:
+                    continue
+                if descriptor.param_is_string(index):
+                    if is_pattern:
+                        address = record.pattern_ptrs[pattern_cursor]
+                        pattern_cursor += 1
+                    else:
+                        address = vm.regs[1 + index]
+                    auth_string = read_authenticated_string(memory, address)
+                    params.append(
+                        ParamEncoding.auth_string(
+                            index, address, auth_string.length, auth_string.mac
+                        )
+                    )
+                    string_checks.append((index, auth_string))
+                else:
+                    params.append(ParamEncoding.immediate(index, vm.regs[1 + index]))
+
+            predset_triple = None
+            predset_as = None
+            if descriptor.control_flow_constrained:
+                predset_as = read_authenticated_string(memory, record.predset_ptr)
+                predset_triple = (
+                    record.predset_ptr,
+                    predset_as.length,
+                    predset_as.mac,
+                )
+
+            capability_spec = None
+            fd_allowed_as = None
+            if descriptor.capability_tracked:
+                fd_allowed_as = read_authenticated_string(memory, record.fd_allowed_ptr)
+                capability_spec = (
+                    record.fd_mask,
+                    (record.fd_allowed_ptr, fd_allowed_as.length, fd_allowed_as.mac),
+                )
+        except MemoryFault as fault:
+            raise AuthViolation(f"bad pointer in authenticated call: {fault}") from fault
+
+        encoded_call = encode_policy(
+            descriptor,
+            syscall_number,
+            call_site,
+            record.block_id,
+            params,
+            predset=predset_triple,
+            lastblock_address=record.lastblock_ptr,
+            capability=capability_spec,
+        )
+        blocks += mac_blocks(len(encoded_call))
+        if not self._provider.verify(encoded_call, record.call_mac):
+            raise AuthViolation(
+                f"call MAC mismatch for syscall {syscall_number} "
+                f"at {call_site:#010x}"
+            )
+
+        # ---- Step 2: verify authenticated string contents ----
+        for index, auth_string in string_checks:
+            blocks += mac_blocks(auth_string.length)
+            if not auth_string.verify(self._provider):
+                raise AuthViolation(
+                    f"string argument {index} failed integrity check "
+                    f"at {call_site:#010x}"
+                )
+        if predset_as is not None:
+            blocks += mac_blocks(predset_as.length)
+            if not predset_as.verify(self._provider):
+                raise AuthViolation(
+                    f"predecessor set failed integrity check at {call_site:#010x}"
+                )
+        if fd_allowed_as is not None:
+            blocks += mac_blocks(fd_allowed_as.length)
+            if not fd_allowed_as.verify(self._provider):
+                raise AuthViolation(
+                    f"capability producer set failed integrity check "
+                    f"at {call_site:#010x}"
+                )
+
+        # ---- Step 3: control flow (the online memory checker) ----
+        if descriptor.control_flow_constrained:
+            assert predset_as is not None
+            blocks += self._check_control_flow(
+                vm, process, record, predset_as.content, call_site
+            )
+
+        # ---- Extensions: pattern matching with proof hints (§5.1) ----
+        if descriptor.pattern_params():
+            self._check_patterns(vm, descriptor, string_checks, call_site)
+
+        cycles = self._costs.auth_cost_blocks(blocks)
+        fd_allowed: frozenset = frozenset()
+        if fd_allowed_as is not None:
+            fd_allowed = unpack_predecessor_set(fd_allowed_as.content)
+        return CheckResult(
+            syscall_number=syscall_number,
+            block_id=record.block_id,
+            record=record,
+            mac_blocks=blocks,
+            cycles=cycles,
+            fd_mask=record.fd_mask,
+            fd_allowed=fd_allowed,
+        )
+
+    # -- control flow -----------------------------------------------------
+
+    def _check_control_flow(
+        self,
+        vm: VM,
+        process: Process,
+        record: AuthRecord,
+        predset_content: bytes,
+        call_site: int,
+    ) -> int:
+        """§3.4's five control-flow steps; returns AES blocks used."""
+        blocks = 0
+        memory = vm.memory
+        try:
+            last_block, lb_mac = read_policy_state(memory, record.lastblock_ptr)
+        except MemoryFault as fault:
+            raise AuthViolation(f"unreadable policy state: {fault}") from fault
+
+        # 1. lbMAC == MAC(lastBlock + counter)?
+        payload = state_mac_payload(last_block, process.auth_counter)
+        blocks += mac_blocks(len(payload))
+        if not self._provider.verify(payload, lb_mac):
+            raise AuthViolation(
+                f"policy state MAC mismatch at {call_site:#010x} "
+                f"(replay or corruption of lastBlock)"
+            )
+
+        # 2. lastBlock in predSet?
+        predecessors = unpack_predecessor_set(predset_content)
+        if last_block not in predecessors:
+            raise AuthViolation(
+                f"control flow violation at {call_site:#010x}: block "
+                f"{last_block} not a permitted predecessor of block "
+                f"{record.block_id}"
+            )
+
+        # 3-5. advance the nonce, update lastBlock, re-MAC.
+        process.auth_counter += 1
+        new_payload = state_mac_payload(record.block_id, process.auth_counter)
+        new_mac = self._provider.tag(new_payload)
+        blocks += mac_blocks(len(new_payload))
+        try:
+            memory.write(
+                record.lastblock_ptr,
+                pack_policy_state(record.block_id, new_mac),
+                force=True,
+            )
+        except MemoryFault as fault:
+            raise AuthViolation(f"unwritable policy state: {fault}") from fault
+        return blocks
+
+    # -- patterns -----------------------------------------------------------
+
+    def _check_patterns(
+        self,
+        vm: VM,
+        descriptor: PolicyDescriptor,
+        string_checks: list,
+        call_site: int,
+    ) -> None:
+        """Verify pattern-constrained arguments using the r8 hint block."""
+        hints = self._read_hints(vm)
+        as_by_index = dict(string_checks)
+        hint_cursor = 0
+        for index in descriptor.pattern_params():
+            pattern_as = as_by_index[index]
+            try:
+                pattern = Pattern.parse(pattern_as.content.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as err:
+                raise AuthViolation(f"undecodable pattern: {err}") from err
+            try:
+                argument = vm.memory.read_cstring(
+                    vm.regs[1 + index], MAX_RUNTIME_STRING, force=True
+                )
+            except MemoryFault as fault:
+                raise AuthViolation(
+                    f"unreadable pattern argument {index}: {fault}"
+                ) from fault
+            slots = pattern.hint_slots
+            hint = hints[hint_cursor : hint_cursor + slots]
+            hint_cursor += slots
+            if len(hint) != slots or not match_with_hint(pattern, argument, hint):
+                raise AuthViolation(
+                    f"argument {index} does not match pattern "
+                    f"{pattern.source!r} at {call_site:#010x}"
+                )
+
+    def _read_hints(self, vm: VM) -> tuple[int, ...]:
+        hint_ptr = vm.regs[8]
+        if not hint_ptr:
+            return ()
+        try:
+            count = vm.memory.read_u32(hint_ptr, force=True)
+            if count > MAX_HINT_WORDS:
+                raise AuthViolation(f"oversized hint block ({count} words)")
+            raw = vm.memory.read(hint_ptr + 4, 4 * count, force=True)
+        except MemoryFault as fault:
+            raise AuthViolation(f"unreadable hint block: {fault}") from fault
+        return tuple(
+            struct.unpack_from("<I", raw, 4 * i)[0] for i in range(count)
+        )

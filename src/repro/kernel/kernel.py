@@ -1,0 +1,382 @@
+"""The kernel object: trap dispatch, process loading, enforcement.
+
+One :class:`Kernel` models one machine: a filesystem, a MAC key shared
+with the trusted installer, an enforcement mode, the per-process
+authentication counters, and the audit log.  It implements the VM's
+:class:`repro.cpu.vm.TrapHandler` protocol, so constructing a process
+is just "link the binary, map the segments, point the VM at us".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Optional, Union
+
+from repro.binfmt import SefBinary, link
+from repro.binfmt.image import LoadedImage, PAGE_SIZE
+from repro.cpu.memory import (
+    Memory,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.cpu.vm import VM, ProcessExit
+from repro.crypto import Key, MacProvider, mac_provider_for_key
+from repro.kernel.audit import AuditEvent, AuditLog
+from repro.kernel.auth import AuthChecker, AuthViolation
+from repro.kernel.costs import CostModel
+from repro.kernel.process import Process
+from repro.kernel.syscalls import (
+    SYSCALL_NAMES,
+    SyscallContext,
+    dispatch,
+)
+from repro.kernel.vfs import Vfs
+from repro.policy.capability import CapabilityTable
+
+#: Fixed epoch for deterministic time syscalls: 26 Sep 2005, the
+#: paper's submission date.
+EPOCH = 1127692800
+
+KILL_STATUS = 128 + 9  # SIGKILL-style status for security terminations
+
+
+@unique
+class EnforcementMode(Enum):
+    """What the kernel does with *unauthenticated* binaries.
+
+    Protected (installer-produced) binaries are always enforced; the
+    mode only governs legacy binaries, mirroring a staged rollout where
+    "the system as a whole is protected once all binaries ... have been
+    transformed" (§3.3)."""
+
+    PERMISSIVE = "permissive"  # legacy binaries may use plain SYS
+    ENFORCE = "enforce"  # plain SYS is always fatal
+
+
+@dataclass
+class RunResult:
+    """Everything a caller learns from running one program."""
+
+    exit_status: int
+    killed: bool
+    kill_reason: str
+    stdout: bytes
+    stderr: bytes
+    cycles: int
+    instructions: int
+    syscalls: int
+    process: Process
+    vm: VM
+
+    @property
+    def ok(self) -> bool:
+        return not self.killed and self.exit_status == 0
+
+
+class Kernel:
+    """The simulated operating system."""
+
+    MAX_EXEC_DEPTH = 8
+
+    def __init__(
+        self,
+        key: Optional[Key] = None,
+        mode: EnforcementMode = EnforcementMode.PERMISSIVE,
+        personality: str = "linux",
+        costs: Optional[CostModel] = None,
+        capability_tracking: bool = False,
+        cycles_per_second: int = 2_400_000_000,
+        nx: bool = False,
+    ):
+        self.key = key or Key.generate()
+        self.mac: MacProvider = mac_provider_for_key(self.key)
+        self.mode = mode
+        self.personality = personality
+        self.costs = costs or CostModel()
+        self.vfs = Vfs()
+        self.audit = AuditLog()
+        self.capability_tracking = capability_tracking
+        self.cycles_per_second = cycles_per_second
+        #: No-execute enforcement.  The paper's 2005-era testbed had no
+        #: NX bit (which is what makes stack shellcode expressible);
+        #: enabling it supports the hardware-vs-authentication ablation.
+        self.nx = nx
+        self._checker = AuthChecker(self.mac, self.costs)
+        #: Optional syscall tracer (duck-typed: .record(ctx)); used by
+        #: the training-based baseline monitors.
+        self.tracer = None
+        self._next_pid = 100
+        self._vm_process: dict[int, Process] = {}
+        self._capabilities: dict[int, CapabilityTable] = {}
+        self._mmap_cursor: dict[int, int] = {}
+        self._exec_depth = 0
+
+    # -- loading ----------------------------------------------------------
+
+    def load(
+        self,
+        binary: SefBinary,
+        argv: Optional[list[str]] = None,
+        stdin: bytes = b"",
+        cwd: str = "/",
+    ) -> tuple[Process, VM]:
+        """Link, map, and prepare one process (not yet run)."""
+        image = link(binary)
+        memory = Memory()
+        for segment in image.segments:
+            if segment.size == 0:
+                continue  # empty sections occupy no pages
+            prot = PROT_READ
+            if segment.flags & 0x2:
+                prot |= PROT_WRITE
+            if segment.flags & 0x4:
+                prot |= PROT_EXEC
+            size = max(segment.size, 1)
+            # Round segment sizes to pages so images stay contiguous.
+            size = (size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            memory.map_region(
+                segment.vaddr, size, prot, name=segment.name, data=segment.data
+            )
+
+        heap_base = (image.end + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        memory.map_region(heap_base, PAGE_SIZE, PROT_READ | PROT_WRITE, name="[heap]")
+
+        process = Process(
+            pid=self._allocate_pid(),
+            name=image.metadata.get("program", binary.entry),
+            cwd=cwd,
+            brk=heap_base,
+            initial_brk=heap_base,
+            authenticated=image.metadata.get("authenticated") == "yes",
+            stdin=stdin,
+        )
+        vm = VM(memory=memory, entry=image.entry, trap_handler=self, nx=self.nx)
+        self._vm_process[id(vm)] = process
+        self._capabilities[id(vm)] = CapabilityTable()
+        self._setup_argv(vm, argv or [process.name])
+        return process, vm
+
+    def _setup_argv(self, vm: VM, argv: list[str]) -> None:
+        """Push argv strings and the pointer array onto the stack;
+        the process starts with r1=argc, r2=argv."""
+        pointers = []
+        for arg in argv:
+            data = arg.encode("utf-8") + b"\x00"
+            vm.regs[15] -= len(data)
+            vm.regs[15] &= ~0x3
+            vm.memory.write(vm.regs[15], data)
+            pointers.append(vm.regs[15])
+        vm.regs[15] -= 4 * (len(pointers) + 1)
+        table = vm.regs[15]
+        for i, pointer in enumerate(pointers):
+            vm.memory.write_u32(table + 4 * i, pointer)
+        vm.memory.write_u32(table + 4 * len(pointers), 0)
+        vm.regs[1] = len(argv)
+        vm.regs[2] = table
+
+    def run(
+        self,
+        binary: SefBinary,
+        argv: Optional[list[str]] = None,
+        stdin: bytes = b"",
+        cwd: str = "/",
+        max_instructions: int = 50_000_000,
+    ) -> RunResult:
+        """Load and execute a program to completion."""
+        process, vm = self.load(binary, argv=argv, stdin=stdin, cwd=cwd)
+        try:
+            status = vm.run(max_instructions=max_instructions)
+        finally:
+            self._vm_process.pop(id(vm), None)
+            self._capabilities.pop(id(vm), None)
+            self._mmap_cursor.pop(id(vm), None)
+        return RunResult(
+            exit_status=status,
+            killed=vm.killed,
+            kill_reason=vm.kill_reason,
+            stdout=bytes(process.stdout),
+            stderr=bytes(process.stderr),
+            cycles=vm.cycles,
+            instructions=vm.instructions_executed,
+            syscalls=vm.syscall_count,
+            process=process,
+            vm=vm,
+        )
+
+    def _allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    # -- trap handling (TrapHandler protocol) --------------------------------
+
+    def handle_trap(self, vm: VM, authenticated: bool) -> int:
+        process = self._vm_process.get(id(vm))
+        if process is None:
+            raise ProcessExit(KILL_STATUS, killed=True, reason="orphan VM trap")
+
+        if authenticated:
+            return self._handle_asys(vm, process)
+        return self._handle_sys(vm, process)
+
+    def _handle_sys(self, vm: VM, process: Process) -> int:
+        """A plain SYS trap."""
+        number = vm.regs[0]
+        name = SYSCALL_NAMES.get(number, f"syscall#{number}")
+        if process.authenticated:
+            # §3.4: "Unauthenticated calls are also blocked."
+            self._kill(
+                vm, process, name,
+                "unauthenticated system call from protected binary",
+            )
+        if self.mode is EnforcementMode.ENFORCE:
+            self._kill(
+                vm, process, name,
+                "unauthenticated binary denied in enforcing mode",
+            )
+        return self._dispatch(vm, process, number)
+
+    def _handle_asys(self, vm: VM, process: Process) -> int:
+        """An authenticated ASYS trap: check, then dispatch."""
+        try:
+            result = self._checker.check(vm, process)
+        except AuthViolation as violation:
+            number = vm.regs[0]
+            name = SYSCALL_NAMES.get(number, f"syscall#{number}")
+            self._kill(vm, process, name, violation.reason)
+            raise AssertionError("unreachable")  # pragma: no cover
+        if result.fd_mask and self.capability_tracking:
+            self._check_capability(vm, process, result)
+        cycles = self._dispatch(vm, process, result.syscall_number, result.block_id)
+        return cycles + result.cycles
+
+    def _check_capability(self, vm: VM, process: Process, result) -> None:
+        """§5.3: each tracked fd argument must descend from a permitted
+        producing call site."""
+        table = self._capabilities.get(id(vm))
+        name = SYSCALL_NAMES.get(result.syscall_number, "?")
+        for index in range(6):
+            if not result.fd_mask & (1 << index):
+                continue
+            fd = vm.regs[1 + index]
+            if fd in (0, 1, 2):  # inherited standard descriptors
+                continue
+            if table is None or not table.check(fd, result.fd_allowed):
+                self._kill(
+                    vm, process, name,
+                    f"capability violation: fd {fd} (arg {index}) not "
+                    f"produced by a permitted call site",
+                )
+
+    def _dispatch(
+        self,
+        vm: VM,
+        process: Process,
+        number: int,
+        block_id: Optional[int] = None,
+    ) -> int:
+        name = SYSCALL_NAMES.get(number)
+        if name is None:
+            vm.regs[0] = 0xFFFFFFDA  # -ENOSYS
+            return self.costs.syscall_cost("unknown")
+        ctx = SyscallContext(
+            kernel=self,
+            process=process,
+            vm=vm,
+            name=name,
+            args=tuple(vm.regs[1:7]),
+        )
+        result = dispatch(ctx)
+        vm.regs[0] = result
+        if self.capability_tracking and block_id is not None:
+            self._track_capability(vm, name, result, block_id)
+        return self.costs.syscall_cost(name, ctx.transferred)
+
+    def _track_capability(
+        self, vm: VM, name: str, result: int, block_id: int
+    ) -> None:
+        table = self._capabilities.get(id(vm))
+        if table is None:
+            return
+        if name in ("open", "socket", "dup", "dup2") and result < 0x8000_0000:
+            if result not in table.owner:
+                table.grant(block_id, result)
+        elif name == "close" and result == 0:
+            table.revoke(vm.regs[1])
+
+    def capability_table(self, vm: VM) -> CapabilityTable:
+        return self._capabilities[id(vm)]
+
+    def _kill(self, vm: VM, process: Process, syscall: str, reason: str) -> None:
+        self.audit.record(
+            AuditEvent(
+                kind="killed",
+                pid=process.pid,
+                program=process.name,
+                syscall=syscall,
+                reason=reason,
+                call_site=vm.pc,
+            )
+        )
+        raise ProcessExit(KILL_STATUS, killed=True, reason=reason)
+
+    # -- services used by syscall handlers -----------------------------------
+
+    def current_time(self, vm: VM) -> int:
+        return EPOCH + vm.cycles // self.cycles_per_second
+
+    def current_timeofday(self, vm: VM) -> tuple[int, int]:
+        seconds = EPOCH + vm.cycles // self.cycles_per_second
+        micros = (vm.cycles % self.cycles_per_second) * 1_000_000 // self.cycles_per_second
+        return seconds, micros
+
+    def next_mmap_address(self, vm: VM, size: int) -> int:
+        cursor = self._mmap_cursor.get(id(vm), 0x40000000)
+        self._mmap_cursor[id(vm)] = cursor + size + PAGE_SIZE
+        return cursor
+
+    # -- execve ----------------------------------------------------------------
+
+    def register_binary(self, path: str, binary: SefBinary) -> None:
+        """Install a program file into the VFS so execve can find it."""
+        self.vfs.write_file(path, binary.to_bytes())
+        self.vfs.chmod(path, 0o755)
+
+    def execve(self, ctx: SyscallContext, path: str, argv=None) -> int:
+        """Model image replacement by running the target synchronously.
+
+        Returns the status the calling process should exit with; raises
+        VfsError (mapped to -errno) if the target cannot be executed."""
+        from repro.kernel.errors import Errno
+        from repro.kernel.vfs import VfsError
+
+        if self._exec_depth >= self.MAX_EXEC_DEPTH:
+            raise VfsError(Errno.ELOOP, path)
+        data = self.vfs.read_file(path, cwd=ctx.process.cwd)
+        try:
+            binary = SefBinary.from_bytes(bytes(data))
+        except Exception:
+            raise VfsError(Errno.EACCES, path) from None
+        if self.mode is EnforcementMode.ENFORCE and binary.metadata.get(
+            "authenticated"
+        ) != "yes":
+            self.audit.record(
+                AuditEvent(
+                    kind="blocked",
+                    pid=ctx.process.pid,
+                    program=ctx.process.name,
+                    syscall="execve",
+                    reason=f"refusing unauthenticated binary {path}",
+                )
+            )
+            raise VfsError(Errno.EPERM, path)
+        self._exec_depth += 1
+        try:
+            result = self.run(binary, argv=argv or None, cwd=ctx.process.cwd)
+        finally:
+            self._exec_depth -= 1
+        ctx.process.stdout.extend(result.stdout)
+        ctx.process.stderr.extend(result.stderr)
+        return result.exit_status

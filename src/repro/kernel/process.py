@@ -1,0 +1,90 @@
+"""Process model: pid, cwd, fd table, brk, and the auth counter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.errors import Errno
+from repro.kernel.vfs import Inode, VfsError
+
+MAX_FDS = 256
+
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_ACCMODE = 3
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+
+@dataclass
+class FileDescription:
+    """An open file: inode + offset + flags (one entry per fd)."""
+
+    inode: Optional[Inode]  # None for special fds (sockets, std streams)
+    flags: int
+    offset: int = 0
+    path: str = ""
+    kind: str = "file"  # "file" | "console" | "socket" | "dir"
+
+    @property
+    def readable(self) -> bool:
+        return self.flags & O_ACCMODE in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return self.flags & O_ACCMODE in (O_WRONLY, O_RDWR)
+
+
+@dataclass
+class Process:
+    """Kernel-side state for one running program."""
+
+    pid: int
+    name: str
+    cwd: str = "/"
+    fds: dict[int, FileDescription] = field(default_factory=dict)
+    brk: int = 0
+    initial_brk: int = 0
+    #: The per-process counter of the §3.2 online memory checker.  It is
+    #: kernel-resident — the one piece of policy state an attacker can
+    #: never touch — and acts as the replay nonce for lastBlock/lbMAC.
+    auth_counter: int = 0
+    #: Whether the image was produced by the trusted installer (carries
+    #: the "authenticated" metadata marker).
+    authenticated: bool = False
+    exit_status: Optional[int] = None
+    stdout: bytearray = field(default_factory=bytearray)
+    stderr: bytearray = field(default_factory=bytearray)
+    stdin: bytes = b""
+    stdin_offset: int = 0
+    network: list[bytes] = field(default_factory=list)
+    #: Signal dispositions recorded by sigaction (number -> handler addr).
+    signal_handlers: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.fds:
+            self.fds[0] = FileDescription(None, O_RDONLY, kind="console", path="<stdin>")
+            self.fds[1] = FileDescription(None, O_WRONLY, kind="console", path="<stdout>")
+            self.fds[2] = FileDescription(None, O_WRONLY, kind="console", path="<stderr>")
+
+    def allocate_fd(self, description: FileDescription) -> int:
+        for fd in range(MAX_FDS):
+            if fd not in self.fds:
+                self.fds[fd] = description
+                return fd
+        raise VfsError(Errno.EMFILE)
+
+    def fd(self, number: int) -> FileDescription:
+        try:
+            return self.fds[number]
+        except KeyError:
+            raise VfsError(Errno.EBADF) from None
+
+    def close_fd(self, number: int) -> None:
+        if number not in self.fds:
+            raise VfsError(Errno.EBADF)
+        del self.fds[number]

@@ -1,0 +1,1068 @@
+"""The system call table and implementations.
+
+Numbers follow the Linux i386 table where a call exists there; the
+handful of OpenBSD-flavoured calls the paper's Table 2 mentions
+(``__syscall``, ``getdirentries``, ``fstatfs``, ``sysconf``) get stable
+numbers of our own.  All calls use the Linux ABI convention: the result
+is a non-negative value on success and ``-errno`` on failure.
+
+Handlers receive a :class:`SyscallContext` and are responsible for
+reading pointer arguments out of guest memory (raising ``EFAULT`` on
+bad pointers, as a real kernel's ``copy_from_user`` would).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cpu.memory import MemoryFault
+from repro.cpu.vm import VM, ProcessExit
+from repro.kernel.errors import Errno
+from repro.kernel.process import (
+    O_ACCMODE,
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_TRUNC,
+    FileDescription,
+    Process,
+)
+from repro.kernel.vfs import VfsError
+
+#: The canonical syscall name -> number table of the simulated OS.
+SYSCALL_NUMBERS: dict[str, int] = {
+    "exit": 1,
+    "read": 3,
+    "write": 4,
+    "open": 5,
+    "close": 6,
+    "unlink": 10,
+    "execve": 11,
+    "chdir": 12,
+    "time": 13,
+    "chmod": 15,
+    "lseek": 19,
+    "getpid": 20,
+    "getuid": 24,
+    "access": 33,
+    "kill": 37,
+    "rename": 38,
+    "mkdir": 39,
+    "rmdir": 40,
+    "dup": 41,
+    "pipe": 42,
+    "brk": 45,
+    "geteuid": 49,
+    "ioctl": 54,
+    "fcntl": 55,
+    "umask": 60,
+    "dup2": 63,
+    "getppid": 64,
+    "sigaction": 67,
+    "gettimeofday": 78,
+    "symlink": 83,
+    "readlink": 85,
+    "mmap": 90,
+    "munmap": 91,
+    "socket": 97,
+    "fstatfs": 100,
+    "stat": 106,
+    "fstat": 108,
+    "uname": 122,
+    "sendto": 133,
+    "writev": 146,
+    "nanosleep": 162,
+    "getdirentries": 196,
+    "__syscall": 198,
+    "sysconf": 199,
+    "madvise": 219,
+    # Additional common Unix calls (simple semantics, present so that
+    # large program profiles — screen needs 67 distinct calls — have a
+    # realistic namespace to draw from).
+    "link": 9,
+    "alarm": 27,
+    "utime": 30,
+    "sync": 36,
+    "times": 43,
+    "getgid": 47,
+    "getegid": 50,
+    "setuid": 23,
+    "setgid": 46,
+    "getpgrp": 65,
+    "setsid": 66,
+    "sigprocmask": 126,
+    "getrlimit": 76,
+    "setrlimit": 75,
+    "getrusage": 77,
+    "truncate": 92,
+    "ftruncate": 93,
+    "fchmod": 94,
+    "fchown": 95,
+    "chown": 182,
+    "getcwd": 183,
+    "fchdir": 300,
+    "flock": 143,
+    "fsync": 118,
+    "select": 142,
+    "poll": 168,
+    "mprotect": 125,
+    "getpriority": 96,
+    "setpriority": 98,
+    "statfs": 99,
+    "getgroups": 80,
+    "sched_yield": 158,
+    "wait4": 114,
+    "mlock": 150,
+    "munlock": 151,
+    "readv": 145,
+    "spawn": 400,
+}
+
+SYSCALL_NAMES: dict[int, str] = {num: name for name, num in SYSCALL_NUMBERS.items()}
+assert len(SYSCALL_NAMES) == len(SYSCALL_NUMBERS), "duplicate syscall numbers"
+
+SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
+F_DUPFD, F_GETFL, F_SETFL = 0, 3, 4
+
+MAX_RW = 1 << 20  # single-call transfer cap, a sanity bound
+MMAP_BASE = 0x40000000
+PAGE = 0x1000
+
+
+@dataclass
+class SyscallContext:
+    """Everything a handler needs, bundled."""
+
+    kernel: "Kernel"  # noqa: F821 - forward ref, avoids an import cycle
+    process: Process
+    vm: VM
+    name: str
+    args: tuple[int, ...]
+    #: Bytes moved for per-byte cost accounting (read/write family).
+    transferred: int = 0
+
+    # -- guest memory helpers -------------------------------------------
+
+    def read_string(self, address: int, max_len: int = 4096) -> bytes:
+        try:
+            return self.vm.memory.read_cstring(address, max_len, force=True)
+        except MemoryFault:
+            raise VfsError(Errno.EFAULT) from None
+
+    def read_path(self, address: int) -> str:
+        return self.read_string(address).decode("utf-8", "surrogateescape")
+
+    def read_buffer(self, address: int, size: int) -> bytes:
+        try:
+            return self.vm.memory.read(address, size, force=True)
+        except MemoryFault:
+            raise VfsError(Errno.EFAULT) from None
+
+    def write_buffer(self, address: int, data: bytes) -> None:
+        try:
+            self.vm.memory.write(address, data, force=True)
+            self.vm._invalidate(address, len(data))
+        except MemoryFault:
+            raise VfsError(Errno.EFAULT) from None
+
+
+Handler = Callable[[SyscallContext], int]
+_HANDLERS: dict[str, Handler] = {}
+
+
+def syscall(name: str) -> Callable[[Handler], Handler]:
+    def register(handler: Handler) -> Handler:
+        if name in _HANDLERS:
+            raise ValueError(f"duplicate syscall handler {name!r}")
+        _HANDLERS[name] = handler
+        return handler
+
+    return register
+
+
+def dispatch(ctx: SyscallContext) -> int:
+    """Run the handler for ``ctx.name``; map errors to -errno."""
+    tracer = getattr(ctx.kernel, "tracer", None)
+    if tracer is not None:
+        tracer.record(ctx)
+    handler = _HANDLERS.get(ctx.name)
+    if handler is None:
+        return Errno.ENOSYS.as_result()
+    try:
+        result = handler(ctx)
+    except VfsError as err:
+        return err.errno.as_result()
+    return result & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# process & identity
+# ---------------------------------------------------------------------------
+
+
+@syscall("exit")
+def _exit(ctx: SyscallContext) -> int:
+    raise ProcessExit(ctx.args[0] & 0xFF)
+
+
+@syscall("getpid")
+def _getpid(ctx: SyscallContext) -> int:
+    return ctx.process.pid
+
+
+@syscall("getppid")
+def _getppid(ctx: SyscallContext) -> int:
+    return 1
+
+
+@syscall("getuid")
+def _getuid(ctx: SyscallContext) -> int:
+    return 1000
+
+
+@syscall("geteuid")
+def _geteuid(ctx: SyscallContext) -> int:
+    return 1000
+
+
+@syscall("umask")
+def _umask(ctx: SyscallContext) -> int:
+    return 0o022
+
+
+@syscall("kill")
+def _kill(ctx: SyscallContext) -> int:
+    pid, sig = ctx.args[0], ctx.args[1]
+    if pid == ctx.process.pid:
+        if sig == 0:
+            return 0
+        raise ProcessExit(128 + (sig & 0x7F), killed=True, reason=f"signal {sig}")
+    return Errno.ESRCH.as_result()
+
+
+@syscall("sigaction")
+def _sigaction(ctx: SyscallContext) -> int:
+    signum, handler_addr = ctx.args[0], ctx.args[1]
+    if not 1 <= signum <= 64:
+        return Errno.EINVAL.as_result()
+    ctx.process.signal_handlers[signum] = handler_addr
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# time
+# ---------------------------------------------------------------------------
+
+
+@syscall("time")
+def _time(ctx: SyscallContext) -> int:
+    now = ctx.kernel.current_time(ctx.vm)
+    if ctx.args and ctx.args[0]:
+        ctx.write_buffer(ctx.args[0], struct.pack("<I", now))
+    return now
+
+
+@syscall("gettimeofday")
+def _gettimeofday(ctx: SyscallContext) -> int:
+    seconds, micros = ctx.kernel.current_timeofday(ctx.vm)
+    if ctx.args[0]:
+        ctx.write_buffer(ctx.args[0], struct.pack("<II", seconds, micros))
+    return 0
+
+
+@syscall("nanosleep")
+def _nanosleep(ctx: SyscallContext) -> int:
+    if not ctx.args[0]:
+        return Errno.EFAULT.as_result()
+    # The request is honoured by charging the requested time as cycles
+    # (capped so a hostile timespec cannot stall a benchmark run).
+    raw = ctx.read_buffer(ctx.args[0], 8)
+    seconds, nanos = struct.unpack("<II", raw)
+    cycles = min(seconds * ctx.kernel.cycles_per_second + nanos, 10_000_000)
+    ctx.vm.cycles += cycles
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+
+
+@syscall("open")
+def _open(ctx: SyscallContext) -> int:
+    path = ctx.read_path(ctx.args[0])
+    flags = ctx.args[1]
+    mode = ctx.args[2] if len(ctx.args) > 2 else 0o644
+    vfs = ctx.kernel.vfs
+    process = ctx.process
+    if flags & O_CREAT:
+        inode = vfs.create_file(
+            path, mode, cwd=process.cwd, exclusive=bool(flags & O_EXCL)
+        )
+    else:
+        inode = vfs.resolve(path, cwd=process.cwd)
+    if inode.is_dir and flags & O_ACCMODE != 0:
+        return Errno.EISDIR.as_result()
+    if flags & O_TRUNC and inode.is_file:
+        inode.data.clear()
+    description = FileDescription(
+        inode=inode,
+        flags=flags,
+        offset=len(inode.data) if (flags & O_APPEND and inode.is_file) else 0,
+        path=vfs.normalize(path, process.cwd),
+        kind="dir" if inode.is_dir else "file",
+    )
+    return process.allocate_fd(description)
+
+
+@syscall("close")
+def _close(ctx: SyscallContext) -> int:
+    ctx.process.close_fd(ctx.args[0])
+    return 0
+
+
+@syscall("read")
+def _read(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    description = ctx.process.fd(fd)
+    if not description.readable:
+        return Errno.EBADF.as_result()
+    if description.kind == "console":
+        data = ctx.process.stdin[
+            ctx.process.stdin_offset : ctx.process.stdin_offset + count
+        ]
+        ctx.process.stdin_offset += len(data)
+    elif description.kind == "socket":
+        data = b""
+    else:
+        inode = description.inode
+        assert inode is not None
+        if inode.is_dir:
+            return Errno.EISDIR.as_result()
+        data = bytes(inode.data[description.offset : description.offset + count])
+        description.offset += len(data)
+    if data:
+        ctx.write_buffer(buf, data)
+    ctx.transferred = len(data)
+    return len(data)
+
+
+@syscall("write")
+def _write(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    data = ctx.read_buffer(buf, count)
+    return _do_write(ctx, fd, data)
+
+
+def _do_write(ctx: SyscallContext, fd: int, data: bytes) -> int:
+    description = ctx.process.fd(fd)
+    if not description.writable:
+        return Errno.EBADF.as_result()
+    if description.kind == "console":
+        target = ctx.process.stdout if fd != 2 else ctx.process.stderr
+        target.extend(data)
+    elif description.kind == "socket":
+        ctx.process.network.append(data)
+    else:
+        inode = description.inode
+        assert inode is not None
+        end = description.offset + len(data)
+        if end > len(inode.data):
+            inode.data.extend(bytes(end - len(inode.data)))
+        inode.data[description.offset : end] = data
+        description.offset = end
+    ctx.transferred = len(data)
+    return len(data)
+
+
+@syscall("writev")
+def _writev(ctx: SyscallContext) -> int:
+    fd, iov, iovcnt = ctx.args[0], ctx.args[1], ctx.args[2]
+    if iovcnt > 64:
+        return Errno.EINVAL.as_result()
+    gathered = bytearray()
+    for i in range(iovcnt):
+        base, length = struct.unpack("<II", ctx.read_buffer(iov + 8 * i, 8))
+        gathered += ctx.read_buffer(base, min(length, MAX_RW))
+    return _do_write(ctx, fd, bytes(gathered))
+
+
+@syscall("lseek")
+def _lseek(ctx: SyscallContext) -> int:
+    fd, offset, whence = ctx.args[0], ctx.args[1], ctx.args[2]
+    description = ctx.process.fd(fd)
+    if description.kind != "file" or description.inode is None:
+        return Errno.ESPIPE.as_result()
+    signed = offset - 0x1_0000_0000 if offset & 0x8000_0000 else offset
+    if whence == SEEK_SET:
+        new = signed
+    elif whence == SEEK_CUR:
+        new = description.offset + signed
+    elif whence == SEEK_END:
+        new = len(description.inode.data) + signed
+    else:
+        return Errno.EINVAL.as_result()
+    if new < 0:
+        return Errno.EINVAL.as_result()
+    description.offset = new
+    return new
+
+
+@syscall("dup")
+def _dup(ctx: SyscallContext) -> int:
+    description = ctx.process.fd(ctx.args[0])
+    copy = FileDescription(
+        inode=description.inode,
+        flags=description.flags,
+        offset=description.offset,
+        path=description.path,
+        kind=description.kind,
+    )
+    return ctx.process.allocate_fd(copy)
+
+
+@syscall("dup2")
+def _dup2(ctx: SyscallContext) -> int:
+    old, new = ctx.args[0], ctx.args[1]
+    description = ctx.process.fd(old)
+    if old == new:
+        return new
+    ctx.process.fds[new] = FileDescription(
+        inode=description.inode,
+        flags=description.flags,
+        offset=description.offset,
+        path=description.path,
+        kind=description.kind,
+    )
+    return new
+
+
+@syscall("fcntl")
+def _fcntl(ctx: SyscallContext) -> int:
+    fd, cmd = ctx.args[0], ctx.args[1]
+    description = ctx.process.fd(fd)
+    if cmd == F_GETFL:
+        return description.flags
+    if cmd == F_SETFL:
+        description.flags = (description.flags & O_ACCMODE) | (
+            ctx.args[2] & ~O_ACCMODE
+        )
+        return 0
+    if cmd == F_DUPFD:
+        copy = FileDescription(
+            inode=description.inode,
+            flags=description.flags,
+            offset=description.offset,
+            path=description.path,
+            kind=description.kind,
+        )
+        return ctx.process.allocate_fd(copy)
+    return Errno.EINVAL.as_result()
+
+
+@syscall("ioctl")
+def _ioctl(ctx: SyscallContext) -> int:
+    ctx.process.fd(ctx.args[0])  # EBADF check
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# namespace
+# ---------------------------------------------------------------------------
+
+
+@syscall("unlink")
+def _unlink(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.unlink(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    return 0
+
+
+@syscall("mkdir")
+def _mkdir(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.mkdir(
+        ctx.read_path(ctx.args[0]), ctx.args[1] & 0o7777, cwd=ctx.process.cwd
+    )
+    return 0
+
+
+@syscall("rmdir")
+def _rmdir(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.rmdir(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    return 0
+
+
+@syscall("rename")
+def _rename(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.rename(
+        ctx.read_path(ctx.args[0]), ctx.read_path(ctx.args[1]), cwd=ctx.process.cwd
+    )
+    return 0
+
+
+@syscall("chdir")
+def _chdir(ctx: SyscallContext) -> int:
+    path = ctx.read_path(ctx.args[0])
+    inode = ctx.kernel.vfs.resolve(path, cwd=ctx.process.cwd)
+    if not inode.is_dir:
+        return Errno.ENOTDIR.as_result()
+    ctx.process.cwd = ctx.kernel.vfs.normalize(path, ctx.process.cwd)
+    return 0
+
+
+@syscall("chmod")
+def _chmod(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.chmod(
+        ctx.read_path(ctx.args[0]), ctx.args[1] & 0o7777, cwd=ctx.process.cwd
+    )
+    return 0
+
+
+@syscall("access")
+def _access(ctx: SyscallContext) -> int:
+    path = ctx.read_path(ctx.args[0])
+    if ctx.kernel.vfs.exists(path, cwd=ctx.process.cwd):
+        return 0
+    return Errno.ENOENT.as_result()
+
+
+@syscall("symlink")
+def _symlink(ctx: SyscallContext) -> int:
+    target = ctx.read_path(ctx.args[0])
+    linkpath = ctx.read_path(ctx.args[1])
+    ctx.kernel.vfs.symlink(target, linkpath, cwd=ctx.process.cwd)
+    return 0
+
+
+@syscall("readlink")
+def _readlink(ctx: SyscallContext) -> int:
+    path = ctx.read_path(ctx.args[0])
+    buf, size = ctx.args[1], ctx.args[2]
+    target = ctx.kernel.vfs.readlink(path, cwd=ctx.process.cwd).encode()
+    data = target[:size]
+    ctx.write_buffer(buf, data)
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# metadata
+# ---------------------------------------------------------------------------
+
+_STAT_SIZE = 32
+
+
+def _pack_stat(inode) -> bytes:
+    return struct.pack(
+        "<IIIIIIII",
+        inode.ino,
+        inode.file_type_bits | inode.mode,
+        inode.size,
+        inode.nlink,
+        0,
+        0,
+        0,
+        0,
+    )
+
+
+@syscall("stat")
+def _stat(ctx: SyscallContext) -> int:
+    inode = ctx.kernel.vfs.resolve(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    ctx.write_buffer(ctx.args[1], _pack_stat(inode))
+    return 0
+
+
+@syscall("fstat")
+def _fstat(ctx: SyscallContext) -> int:
+    description = ctx.process.fd(ctx.args[0])
+    if description.inode is None:
+        # Synthesize a character-device-ish stat for consoles/sockets.
+        ctx.write_buffer(ctx.args[1], struct.pack("<IIIIIIII", 1, 0o020666, 0, 1, 0, 0, 0, 0))
+        return 0
+    ctx.write_buffer(ctx.args[1], _pack_stat(description.inode))
+    return 0
+
+
+@syscall("fstatfs")
+def _fstatfs(ctx: SyscallContext) -> int:
+    ctx.process.fd(ctx.args[0])  # EBADF check
+    # f_type, f_bsize, f_blocks, f_bfree
+    ctx.write_buffer(ctx.args[1], struct.pack("<IIII", 0x53454631, PAGE, 65536, 32768))
+    return 0
+
+
+@syscall("getdirentries")
+def _getdirentries(ctx: SyscallContext) -> int:
+    fd, buf, nbytes = ctx.args[0], ctx.args[1], ctx.args[2]
+    description = ctx.process.fd(fd)
+    if description.kind != "dir" or description.inode is None:
+        return Errno.ENOTDIR.as_result()
+    names = sorted(description.inode.entries)
+    out = bytearray()
+    index = description.offset
+    while index < len(names):
+        encoded = names[index].encode() + b"\x00"
+        record = struct.pack("<IH", description.inode.entries[names[index]].ino, len(encoded)) + encoded
+        if len(out) + len(record) > nbytes:
+            break
+        out += record
+        index += 1
+    if index == description.offset and index < len(names):
+        return Errno.EINVAL.as_result()  # buffer too small for one entry
+    description.offset = index
+    ctx.write_buffer(buf, bytes(out))
+    ctx.transferred = len(out)
+    return len(out)
+
+
+@syscall("uname")
+def _uname(ctx: SyscallContext) -> int:
+    fields = [
+        b"SVM32",
+        ctx.kernel.personality.encode(),
+        b"2.4.20-asc",
+        b"#1 2005",
+        b"svm32",
+    ]
+    blob = b"".join(name.ljust(32, b"\x00") for name in fields)
+    ctx.write_buffer(ctx.args[0], blob)
+    return 0
+
+
+@syscall("sysconf")
+def _sysconf(ctx: SyscallContext) -> int:
+    known = {0: 4096, 1: 256, 2: 100}  # PAGESIZE, OPEN_MAX, CLK_TCK
+    return known.get(ctx.args[0], Errno.EINVAL.as_result())
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+
+
+@syscall("brk")
+def _brk(ctx: SyscallContext) -> int:
+    request = ctx.args[0]
+    process = ctx.process
+    if request == 0 or request < process.initial_brk:
+        return process.brk
+    try:
+        ctx.vm.memory.grow_region("[heap]", request - process.initial_brk)
+    except (MemoryFault, KeyError):
+        return process.brk
+    process.brk = request
+    return process.brk
+
+
+@syscall("mmap")
+def _mmap(ctx: SyscallContext) -> int:
+    length = ctx.args[1]
+    fd = ctx.args[4] if len(ctx.args) > 4 else 0xFFFFFFFF
+    if length == 0:
+        return Errno.EINVAL.as_result()
+    size = (length + PAGE - 1) & ~(PAGE - 1)
+    base = ctx.kernel.next_mmap_address(ctx.vm, size)
+    from repro.cpu.memory import PROT_READ, PROT_WRITE
+
+    region = ctx.vm.memory.map_region(
+        base, size, PROT_READ | PROT_WRITE, name=f"[mmap:{base:#x}]"
+    )
+    if fd != 0xFFFFFFFF and fd < 0x8000_0000:
+        description = ctx.process.fd(fd)
+        if description.inode is not None and description.inode.is_file:
+            content = bytes(description.inode.data[:size])
+            region.data[: len(content)] = content
+    return base
+
+
+@syscall("munmap")
+def _munmap(ctx: SyscallContext) -> int:
+    # Regions are leaked rather than unmapped; fine for program lifetimes.
+    return 0
+
+
+@syscall("madvise")
+def _madvise(ctx: SyscallContext) -> int:
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# sockets (minimal: enough for sendto in the policy tables)
+# ---------------------------------------------------------------------------
+
+
+@syscall("socket")
+def _socket(ctx: SyscallContext) -> int:
+    from repro.kernel.process import O_RDWR
+
+    return ctx.process.allocate_fd(
+        FileDescription(None, O_RDWR, kind="socket", path="<socket>")
+    )
+
+
+@syscall("sendto")
+def _sendto(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    description = ctx.process.fd(fd)
+    if description.kind != "socket":
+        return Errno.EINVAL.as_result()
+    data = ctx.read_buffer(buf, count)
+    ctx.process.network.append(data)
+    ctx.transferred = len(data)
+    return len(data)
+
+
+@syscall("pipe")
+def _pipe(ctx: SyscallContext) -> int:
+    # Single-process kernel: a pipe is a file-backed buffer pair.
+    from repro.kernel.process import O_RDONLY, O_WRONLY
+    from repro.kernel.vfs import Inode
+
+    backing = Inode(kind="file", mode=0o600)
+    read_fd = ctx.process.allocate_fd(
+        FileDescription(backing, O_RDONLY, kind="file", path="<pipe>")
+    )
+    write_fd = ctx.process.allocate_fd(
+        FileDescription(backing, O_WRONLY, kind="file", path="<pipe>")
+    )
+    ctx.write_buffer(ctx.args[0], struct.pack("<II", read_fd, write_fd))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# program execution & indirection
+# ---------------------------------------------------------------------------
+
+
+def _read_argv(ctx: SyscallContext, table: int) -> list:
+    """Read a NULL-terminated array of string pointers from the guest."""
+    argv = []
+    cursor = table
+    for _ in range(64):
+        try:
+            pointer = ctx.vm.memory.read_u32(cursor, force=True)
+        except MemoryFault:
+            raise VfsError(Errno.EFAULT) from None
+        if pointer == 0:
+            break
+        argv.append(ctx.read_path(pointer))
+        cursor += 4
+    return argv
+
+
+@syscall("execve")
+def _execve(ctx: SyscallContext) -> int:
+    path = ctx.read_path(ctx.args[0])
+    argv = _read_argv(ctx, ctx.args[1]) if ctx.args[1] else []
+    status = ctx.kernel.execve(ctx, path, argv)
+    # execve does not return on success; the kernel models "replace the
+    # image" by running the new program to completion and exiting the
+    # caller with its status.
+    raise ProcessExit(status, reason=f"execve {path}")
+
+
+@syscall("spawn")
+def _spawn(ctx: SyscallContext) -> int:
+    """posix_spawn-style synchronous child execution (this kernel has
+    no fork); returns the child's exit status.  The enforcement-mode
+    rules of execve apply to the target binary."""
+    path = ctx.read_path(ctx.args[0])
+    argv = _read_argv(ctx, ctx.args[1]) if ctx.args[1] else []
+    return ctx.kernel.execve(ctx, path, argv) & 0xFF
+
+
+@syscall("__syscall")
+def ___syscall(ctx: SyscallContext) -> int:
+    """OpenBSD-style generic indirect system call: the real syscall
+    number is the first argument and the remaining arguments shift
+    left.  This is how the OpenBSD personality's libc invokes mmap,
+    which is what produces the Table 2 ``__syscall``/``mmap`` policy
+    asymmetry."""
+    real_number = ctx.args[0]
+    real_name = SYSCALL_NAMES.get(real_number)
+    if real_name is None or real_name == "__syscall":
+        return Errno.ENOSYS.as_result()
+    inner = SyscallContext(
+        kernel=ctx.kernel,
+        process=ctx.process,
+        vm=ctx.vm,
+        name=real_name,
+        args=ctx.args[1:] + (0,),
+    )
+    result = dispatch(inner)
+    ctx.transferred = inner.transferred
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the long tail: simple calls that round out the namespace
+# ---------------------------------------------------------------------------
+
+
+@syscall("link")
+def _link(ctx: SyscallContext) -> int:
+    old = ctx.read_path(ctx.args[0])
+    new = ctx.read_path(ctx.args[1])
+    node = ctx.kernel.vfs.resolve(old, cwd=ctx.process.cwd)
+    if node.is_dir:
+        return Errno.EPERM.as_result()
+    _, parent, name = ctx.kernel.vfs._walk(new, ctx.process.cwd)
+    if name in parent.entries:
+        return Errno.EEXIST.as_result()
+    parent.entries[name] = node
+    node.nlink += 1
+    return 0
+
+
+@syscall("alarm")
+def _alarm(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("utime")
+def _utime(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.resolve(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    return 0
+
+
+@syscall("sync")
+def _sync(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("times")
+def _times(ctx: SyscallContext) -> int:
+    ticks = ctx.vm.cycles // (ctx.kernel.cycles_per_second // 100)
+    if ctx.args[0]:
+        ctx.write_buffer(ctx.args[0], struct.pack("<IIII", ticks, 0, 0, 0))
+    return ticks & 0x7FFFFFFF
+
+
+@syscall("getgid")
+def _getgid(ctx: SyscallContext) -> int:
+    return 1000
+
+
+@syscall("getegid")
+def _getegid(ctx: SyscallContext) -> int:
+    return 1000
+
+
+@syscall("setuid")
+def _setuid(ctx: SyscallContext) -> int:
+    return 0 if ctx.args[0] == 1000 else Errno.EPERM.as_result()
+
+
+@syscall("setgid")
+def _setgid(ctx: SyscallContext) -> int:
+    return 0 if ctx.args[0] == 1000 else Errno.EPERM.as_result()
+
+
+@syscall("getpgrp")
+def _getpgrp(ctx: SyscallContext) -> int:
+    return ctx.process.pid
+
+
+@syscall("setsid")
+def _setsid(ctx: SyscallContext) -> int:
+    return ctx.process.pid
+
+
+@syscall("sigprocmask")
+def _sigprocmask(ctx: SyscallContext) -> int:
+    if ctx.args[2]:
+        ctx.write_buffer(ctx.args[2], struct.pack("<I", 0))
+    return 0
+
+
+@syscall("getrlimit")
+def _getrlimit(ctx: SyscallContext) -> int:
+    if not ctx.args[1]:
+        return Errno.EFAULT.as_result()
+    ctx.write_buffer(ctx.args[1], struct.pack("<II", 0x7FFFFFFF, 0x7FFFFFFF))
+    return 0
+
+
+@syscall("setrlimit")
+def _setrlimit(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("getrusage")
+def _getrusage(ctx: SyscallContext) -> int:
+    if ctx.args[1]:
+        seconds, micros = ctx.kernel.current_timeofday(ctx.vm)
+        ctx.write_buffer(ctx.args[1], struct.pack("<IIII", 0, micros, 0, 0))
+    return 0
+
+
+@syscall("truncate")
+def _truncate(ctx: SyscallContext) -> int:
+    node = ctx.kernel.vfs.resolve(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    if not node.is_file:
+        return Errno.EISDIR.as_result()
+    length = ctx.args[1]
+    if length < len(node.data):
+        del node.data[length:]
+    else:
+        node.data.extend(bytes(length - len(node.data)))
+    return 0
+
+
+@syscall("ftruncate")
+def _ftruncate(ctx: SyscallContext) -> int:
+    description = ctx.process.fd(ctx.args[0])
+    if description.inode is None or not description.inode.is_file:
+        return Errno.EINVAL.as_result()
+    length = ctx.args[1]
+    data = description.inode.data
+    if length < len(data):
+        del data[length:]
+    else:
+        data.extend(bytes(length - len(data)))
+    return 0
+
+
+@syscall("fchmod")
+def _fchmod(ctx: SyscallContext) -> int:
+    description = ctx.process.fd(ctx.args[0])
+    if description.inode is None:
+        return Errno.EINVAL.as_result()
+    description.inode.mode = ctx.args[1] & 0o7777
+    return 0
+
+
+@syscall("fchown")
+def _fchown(ctx: SyscallContext) -> int:
+    ctx.process.fd(ctx.args[0])
+    return 0
+
+
+@syscall("chown")
+def _chown(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.resolve(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    return 0
+
+
+@syscall("getcwd")
+def _getcwd(ctx: SyscallContext) -> int:
+    buf, size = ctx.args[0], ctx.args[1]
+    cwd = ctx.process.cwd.encode() + b"\x00"
+    if len(cwd) > size:
+        return Errno.ERANGE.as_result()
+    ctx.write_buffer(buf, cwd)
+    return len(cwd)
+
+
+@syscall("fchdir")
+def _fchdir(ctx: SyscallContext) -> int:
+    description = ctx.process.fd(ctx.args[0])
+    if description.kind != "dir":
+        return Errno.ENOTDIR.as_result()
+    ctx.process.cwd = description.path or "/"
+    return 0
+
+
+@syscall("flock")
+def _flock(ctx: SyscallContext) -> int:
+    ctx.process.fd(ctx.args[0])
+    return 0
+
+
+@syscall("fsync")
+def _fsync(ctx: SyscallContext) -> int:
+    ctx.process.fd(ctx.args[0])
+    return 0
+
+
+@syscall("select")
+def _select(ctx: SyscallContext) -> int:
+    # Single-process kernel: console and files are always ready.
+    return ctx.args[0]
+
+
+@syscall("poll")
+def _poll(ctx: SyscallContext) -> int:
+    return ctx.args[1]
+
+
+@syscall("mprotect")
+def _mprotect(ctx: SyscallContext) -> int:
+    """Change protection of the region containing the address.  Guest
+    PROT_* bits match the simulator's (1=read, 2=write, 4=exec)."""
+    address, _length, prot = ctx.args[0], ctx.args[1], ctx.args[2]
+    if prot & ~0x7:
+        return Errno.EINVAL.as_result()
+    try:
+        ctx.vm.memory.protect(address, prot & 0x7)
+    except MemoryFault:
+        return Errno.ENOMEM.as_result()
+    ctx.vm._decode_cache.clear()
+    return 0
+
+
+@syscall("getpriority")
+def _getpriority(ctx: SyscallContext) -> int:
+    return 20  # nice 0, Linux getpriority encoding
+
+
+@syscall("setpriority")
+def _setpriority(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("statfs")
+def _statfs(ctx: SyscallContext) -> int:
+    ctx.kernel.vfs.resolve(ctx.read_path(ctx.args[0]), cwd=ctx.process.cwd)
+    ctx.write_buffer(ctx.args[1], struct.pack("<IIII", 0x53454631, PAGE, 65536, 32768))
+    return 0
+
+
+@syscall("getgroups")
+def _getgroups(ctx: SyscallContext) -> int:
+    if ctx.args[0] >= 1 and ctx.args[1]:
+        ctx.write_buffer(ctx.args[1], struct.pack("<I", 1000))
+    return 1
+
+
+@syscall("sched_yield")
+def _sched_yield(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("wait4")
+def _wait4(ctx: SyscallContext) -> int:
+    return Errno.ECHILD.as_result()  # no children in this kernel
+
+
+@syscall("mlock")
+def _mlock(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("munlock")
+def _munlock(ctx: SyscallContext) -> int:
+    return 0
+
+
+@syscall("readv")
+def _readv(ctx: SyscallContext) -> int:
+    fd, iov, iovcnt = ctx.args[0], ctx.args[1], ctx.args[2]
+    if iovcnt > 64:
+        return Errno.EINVAL.as_result()
+    total = 0
+    for i in range(iovcnt):
+        base, length = struct.unpack("<II", ctx.read_buffer(iov + 8 * i, 8))
+        inner = SyscallContext(
+            kernel=ctx.kernel, process=ctx.process, vm=ctx.vm,
+            name="read", args=(fd, base, length, 0, 0, 0),
+        )
+        result = dispatch(inner)
+        if result >= 0xFFFFF001:
+            return result
+        total += result
+        if result < length:
+            break
+    ctx.transferred = total
+    return total

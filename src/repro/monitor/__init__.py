@@ -1,0 +1,33 @@
+"""Baseline system call monitors for comparison (§2, §4.2).
+
+- :mod:`repro.monitor.systrace` -- a Systrace-like monitor: policies
+  obtained by *training* plus the hand-edit conventions (the
+  ``fsread``/``fswrite`` set aliases) used by the published policies
+  the paper compares against; enforcement via a simulated user-space
+  policy daemon with its context-switch costs.
+- :mod:`repro.monitor.stide` -- the Forrest-style sliding-window
+  sequence monitor (the lineage §2 credits with originating system
+  call monitoring), useful as a second baseline and for mimicry
+  experiments.
+"""
+
+from repro.monitor.systrace import (
+    FSREAD,
+    FSWRITE,
+    SyscallTracer,
+    SystraceMonitor,
+    SystracePolicy,
+    train_policy,
+)
+from repro.monitor.stide import StideModel, StideMonitor
+
+__all__ = [
+    "FSREAD",
+    "FSWRITE",
+    "StideModel",
+    "StideMonitor",
+    "SyscallTracer",
+    "SystraceMonitor",
+    "SystracePolicy",
+    "train_policy",
+]

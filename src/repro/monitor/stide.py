@@ -1,0 +1,95 @@
+"""stide: the sliding-window sequence monitor (Forrest et al.; §2).
+
+The original system-call-monitoring lineage: learn the set of k-length
+call windows seen in normal traces; at detection time, any window not
+in the database is an anomaly.  Included as a second baseline and as
+the reference point for mimicry-attack discussions (§2.2): an attack
+whose call sequence stays within the learned windows goes undetected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class StideModel:
+    """A trained window database."""
+
+    window: int = 6
+    windows: set = field(default_factory=set)
+
+    def train(self, trace: Sequence[str]) -> None:
+        for chunk in self._slide(trace):
+            self.windows.add(chunk)
+
+    def train_many(self, traces: Iterable[Sequence[str]]) -> None:
+        for trace in traces:
+            self.train(trace)
+
+    def _slide(self, trace: Sequence[str]):
+        if len(trace) < self.window:
+            if trace:
+                yield tuple(trace)
+            return
+        for start in range(len(trace) - self.window + 1):
+            yield tuple(trace[start : start + self.window])
+
+    def anomalies(self, trace: Sequence[str]) -> list[int]:
+        """Indices (window starts) of unseen windows."""
+        return [
+            start
+            for start, chunk in enumerate(self._slide(trace))
+            if chunk not in self.windows
+        ]
+
+    def anomaly_rate(self, trace: Sequence[str]) -> float:
+        chunks = list(self._slide(trace))
+        if not chunks:
+            return 0.0
+        unseen = sum(1 for chunk in chunks if chunk not in self.windows)
+        return unseen / len(chunks)
+
+    def accepts(self, trace: Sequence[str]) -> bool:
+        return not self.anomalies(trace)
+
+
+class StideMonitor:
+    """Runtime enforcement wrapper: kill on the first unseen window.
+
+    Deliberately minimal — stide is the §2 lineage baseline, included
+    to demonstrate (a) training false alarms and (b) the mimicry blind
+    spot that motivates more precise per-site policies."""
+
+    def __init__(self, model: StideModel, kernel):
+        self.model = model
+        self.kernel = kernel
+        self._window: list[str] = []
+        kernel.tracer = self
+
+    def record(self, ctx) -> None:
+        if ctx.name == "__syscall":
+            return
+        self._window.append(ctx.name)
+        if len(self._window) > self.model.window:
+            self._window.pop(0)
+        if len(self._window) == self.model.window and (
+            tuple(self._window) not in self.model.windows
+        ):
+            from repro.cpu.vm import ProcessExit
+            from repro.kernel.audit import AuditEvent
+
+            self.kernel.audit.record(
+                AuditEvent(
+                    kind="killed",
+                    pid=ctx.process.pid,
+                    program=ctx.process.name,
+                    syscall=ctx.name,
+                    reason=f"stide: unseen window {tuple(self._window)}",
+                )
+            )
+            raise ProcessExit(137, killed=True, reason="stide anomaly")
+
+    def reset(self) -> None:
+        self._window.clear()

@@ -1,0 +1,222 @@
+"""A Systrace-like training-based monitor (Provos 2003; §2, §4.2).
+
+Reproduces the three properties of the published policies the paper
+compares against:
+
+1. **Training**: the policy is the set of system calls observed on
+   sample runs.  Rarely-exercised code paths never execute during
+   training, so their calls are missing — the root cause of the 15+
+   ASC-only rows in Table 2 (false alarms waiting to happen).
+2. **Kernel's-eye view**: the monitor sees the *resolved* operation,
+   so OpenBSD's ``__syscall`` indirection records as ``mmap`` — hiding
+   the indirection the static analysis correctly reports.
+3. **Hand edits**: the published policies use the ``fsread`` /
+   ``fswrite`` set aliases; any observed filesystem access admits the
+   whole alias set, adding *unneeded* calls (``mkdir``/``rmdir``/
+   ``unlink``/``readlink`` in Table 2).
+
+Enforcement models Systrace's user-space policy daemon: every checked
+call costs two extra context switches plus a policy lookup, the cost
+structure §2.3 contrasts with in-kernel checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.binfmt import SefBinary
+from repro.cpu.vm import VM, ProcessExit
+from repro.kernel import EnforcementMode, Kernel
+from repro.kernel.audit import AuditEvent
+from repro.kernel.process import Process
+from repro.kernel.syscalls import SYSCALL_NAMES
+
+#: Hand-edit alias sets (§4.2): "fsread denotes read-related system
+#: calls and fswrite denotes write-related calls."
+FSREAD = frozenset({"open", "stat", "access", "readlink"})
+FSWRITE = frozenset({"open", "mkdir", "rmdir", "unlink", "rename", "chmod"})
+
+_FS_TRIGGERS = frozenset(
+    {"open", "stat", "access", "readlink", "mkdir", "rmdir", "unlink",
+     "rename", "chmod", "truncate", "utime"}
+)
+
+#: One user<->daemon round trip costs two context switches.  ~6,000
+#: cycles per switch is the realistic direct+indirect (TLB/cache) cost
+#: on the paper's hardware generation; this is what makes user-space
+#: policy daemons expensive relative to in-kernel checking (§2.3).
+CONTEXT_SWITCH_COST = 6000
+POLICY_LOOKUP_COST = 400
+
+
+#: Syscalls whose first argument is a path (observed for the
+#: argument-level policies §2.1 describes Systrace supporting).
+_PATH_CALLS = frozenset({
+    "open", "stat", "access", "readlink", "unlink", "mkdir", "rmdir",
+    "chmod", "chdir", "truncate", "utime", "execve", "chown", "statfs",
+    "link", "symlink", "rename", "spawn",
+})
+
+
+class SyscallTracer:
+    """Records the kernel's-eye view of each dispatched call."""
+
+    def __init__(self, record_paths: bool = False) -> None:
+        self.calls: list[str] = []
+        #: (syscall, normalized path) observations
+        self.paths: list[tuple] = []
+        self.record_paths = record_paths
+
+    def record(self, ctx) -> None:
+        # Systrace observes the resolved operation; the __syscall
+        # wrapper dispatches the inner call through dispatch() again,
+        # so simply skipping the wrapper row reproduces "the
+        # indirection is hidden from users".
+        if ctx.name == "__syscall":
+            return
+        self.calls.append(ctx.name)
+        if self.record_paths and ctx.name in _PATH_CALLS and ctx.args[0]:
+            from repro.policy.normalize import normalize_path
+
+            try:
+                raw = ctx.read_path(ctx.args[0])
+            except Exception:
+                return
+            self.paths.append(
+                (ctx.name, normalize_path(ctx.kernel.vfs, raw, ctx.process.cwd))
+            )
+
+
+@dataclass
+class SystracePolicy:
+    """A per-program policy: permitted syscall names, and optionally
+    per-syscall path constraints (§2.1: Systrace policies may pin
+    argument values or match them against patterns)."""
+
+    program: str
+    allowed: frozenset
+    #: names admitted only via an alias (never actually observed)
+    via_alias: frozenset = frozenset()
+    #: syscall -> frozenset of normalized paths observed in training;
+    #: empty/missing means the argument is unconstrained.
+    path_rules: dict = field(default_factory=dict)
+    #: syscall -> administrator-supplied glob patterns (e.g. "/tmp/*").
+    path_patterns: dict = field(default_factory=dict)
+
+    def permits(self, syscall: str) -> bool:
+        return syscall in self.allowed
+
+    def permits_path(self, syscall: str, normalized: str) -> bool:
+        """Argument-level check; unconstrained syscalls accept any path."""
+        rules = self.path_rules.get(syscall)
+        patterns = self.path_patterns.get(syscall, ())
+        if rules is None and not patterns:
+            return True
+        if rules and normalized in rules:
+            return True
+        from repro.policy.patterns import Pattern, derive_hint
+
+        for source in patterns:
+            if derive_hint(Pattern.parse(source), normalized.encode()) is not None:
+                return True
+        return False
+
+
+def train_policy(
+    binary: SefBinary,
+    training_argvs: Iterable[list],
+    program: Optional[str] = None,
+    hand_edit: bool = True,
+    record_paths: bool = False,
+    kernel_factory=None,
+) -> SystracePolicy:
+    """Derive a policy by running the program on training inputs.
+
+    ``record_paths`` additionally learns per-syscall path constraints;
+    ``kernel_factory`` lets callers pre-populate the training VFS."""
+    program = program or binary.metadata.get("program", "unknown")
+    observed: set[str] = set()
+    path_rules: dict = {}
+    for argv in training_argvs:
+        kernel = kernel_factory() if kernel_factory else Kernel(
+            mode=EnforcementMode.PERMISSIVE
+        )
+        tracer = SyscallTracer(record_paths=record_paths)
+        kernel.tracer = tracer
+        kernel.run(binary, argv=list(argv))
+        observed.update(tracer.calls)
+        for syscall, path in tracer.paths:
+            path_rules.setdefault(syscall, set()).add(path)
+
+    allowed = set(observed)
+    via_alias: set[str] = set()
+    if hand_edit and observed & _FS_TRIGGERS:
+        for alias in (FSREAD, FSWRITE):
+            added = alias - allowed
+            via_alias |= added
+            allowed |= alias
+    return SystracePolicy(
+        program=program,
+        allowed=frozenset(allowed),
+        via_alias=frozenset(via_alias),
+        path_rules={name: frozenset(paths) for name, paths in path_rules.items()},
+    )
+
+
+class SystraceMonitor(Kernel):
+    """A kernel whose plain-SYS path consults a user-space daemon.
+
+    Protected (ASC) binaries are not expected here; this models the
+    *alternative* architecture the paper compares against, so every
+    system call pays the daemon round trip."""
+
+    def __init__(self, policy: SystracePolicy, **kwargs):
+        super().__init__(**kwargs)
+        self.policy = policy
+        self.checked_calls = 0
+        self.daemon_cycles = 0
+
+    def _handle_sys(self, vm: VM, process: Process) -> int:
+        number = vm.regs[0]
+        name = SYSCALL_NAMES.get(number, f"syscall#{number}")
+        self.checked_calls += 1
+        surcharge = 2 * CONTEXT_SWITCH_COST + POLICY_LOOKUP_COST
+        self.daemon_cycles += surcharge
+        effective = name
+        if name == "__syscall":
+            effective = SYSCALL_NAMES.get(vm.regs[1], name)
+        if not self.policy.permits(effective):
+            self._deny(vm, process, effective, "not in policy")
+        if effective in _PATH_CALLS and vm.regs[1] and (
+            self.policy.path_rules.get(effective)
+            or self.policy.path_patterns.get(effective)
+        ):
+            from repro.policy.normalize import normalize_path
+
+            try:
+                raw = vm.memory.read_cstring(vm.regs[1], force=True)
+            except Exception:
+                raw = b""
+            normalized = normalize_path(
+                self.vfs, raw.decode("utf-8", "surrogateescape"), process.cwd
+            )
+            if not self.policy.permits_path(effective, normalized):
+                self._deny(
+                    vm, process, effective,
+                    f"path {normalized!r} not permitted",
+                )
+        return surcharge + self._dispatch(vm, process, number)
+
+    def _deny(self, vm: VM, process: Process, syscall: str, why: str) -> None:
+        self.audit.record(
+            AuditEvent(
+                kind="killed",
+                pid=process.pid,
+                program=process.name,
+                syscall=syscall,
+                reason=f"systrace: {syscall} {why} (possible false alarm)",
+                call_site=vm.pc,
+            )
+        )
+        raise ProcessExit(137, killed=True, reason=f"systrace denied {syscall}")

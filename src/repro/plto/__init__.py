@@ -1,0 +1,56 @@
+"""PLTO-style binary rewriting toolkit.
+
+The paper builds its trusted installer on PLTO [Schwarz, Debray &
+Andrews 2001], a link-time optimizer that disassembles a relocatable
+binary into an intermediate representation, runs static analyses
+(basic blocks, call graph, reaching definitions, constant propagation,
+stub inlining), and writes the binary back out.  This package is the
+SVM32 equivalent:
+
+- :mod:`repro.plto.ir` / :mod:`repro.plto.disasm` -- lift a SEF binary
+  to a symbolic instruction list (immediates restored to symbol+addend
+  form from the relocation table) and write it back out.
+- :mod:`repro.plto.cfg` -- leaders, basic blocks, intra- and
+  inter-procedural edges, function discovery.
+- :mod:`repro.plto.callgraph` -- functions and the call graph; the
+  system call ordering graph is derived from it exactly as §3.3
+  describes ("computed from the standard call graph of the program by
+  keeping only those nodes that correspond to system calls").
+- :mod:`repro.plto.dataflow` -- flow-sensitive constant propagation
+  over the register file, classifying each syscall argument as
+  String / Immediate / Unknown (§4.1), plus the multi-value and
+  fd-provenance refinements behind Table 3's *mv* and *fds* columns.
+- :mod:`repro.plto.inline` -- syscall-stub inlining, so each original
+  call site gets its own policy rather than sharing the stub's.
+- :mod:`repro.plto.passes` -- the baseline optimization passes applied
+  to *both* the unauthenticated and authenticated binaries, mirroring
+  the paper's use of PLTO-processed binaries as the fair baseline.
+"""
+
+from repro.plto.ir import IrInsn, IrUnit, DisassemblyError
+from repro.plto.disasm import disassemble, reassemble
+from repro.plto.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.plto.callgraph import CallGraph, build_call_graph, syscall_ordering
+from repro.plto.dataflow import ArgClass, ArgValue, classify_syscall_args
+from repro.plto.inline import inline_syscall_stubs
+from repro.plto.passes import remove_nops, run_baseline_passes
+
+__all__ = [
+    "ArgClass",
+    "ArgValue",
+    "BasicBlock",
+    "CallGraph",
+    "ControlFlowGraph",
+    "DisassemblyError",
+    "IrInsn",
+    "IrUnit",
+    "build_call_graph",
+    "build_cfg",
+    "classify_syscall_args",
+    "disassemble",
+    "inline_syscall_stubs",
+    "reassemble",
+    "remove_nops",
+    "run_baseline_passes",
+    "syscall_ordering",
+]

@@ -1,0 +1,126 @@
+"""Textual disassembly: render binaries and IR back to readable form.
+
+The output of :func:`render_unit` is valid assembler input (it
+round-trips through :func:`repro.asm.assemble`), which makes it useful
+both as an ``objdump``-style inspection tool and as a debugging aid for
+rewriting passes.  :func:`render_disassembly` adds addresses and raw
+bytes, ``objdump -d`` style, for linked images.
+"""
+
+from __future__ import annotations
+
+from repro.binfmt import SefBinary, link
+from repro.isa import INSTRUCTION_SIZE, decode_instruction, encode_instruction
+from repro.plto.disasm import disassemble
+from repro.plto.ir import IrUnit
+
+
+def render_unit(unit: IrUnit) -> str:
+    """Render IR as re-assemblable source text."""
+    lines = [".section .text"]
+    globals_needed = [
+        name
+        for name, symbol in unit.binary.symbols.items()
+        if symbol.binding == "global" and symbol.section == ".text"
+    ]
+    for name in sorted(globals_needed):
+        lines.append(f".global {name}")
+    for insn in unit.insns:
+        for label in insn.labels:
+            lines.append(f"{label}:")
+        lines.append(f"    {insn.instruction}")
+
+    for name, section in unit.binary.sections.items():
+        if name == ".text":
+            continue
+        lines.append(f".section {name}")
+        section_symbols = sorted(
+            (
+                (symbol.offset, symbol_name)
+                for symbol_name, symbol in unit.binary.symbols.items()
+                if symbol.section == name
+            ),
+        )
+        if section.nobits:
+            cursor = 0
+            for offset, symbol_name in section_symbols:
+                if offset > cursor:
+                    lines.append(f"    .space {offset - cursor}")
+                    cursor = offset
+                lines.append(f"{symbol_name}:")
+            if section.reserve > cursor:
+                lines.append(f"    .space {section.reserve - cursor}")
+            continue
+        relocs = unit.binary.relocations_for(name)
+        labels_at = {offset: label for offset, label in section_symbols}
+        data = bytes(section.data)
+        boundaries = sorted(set(labels_at) | set(relocs) | {len(data)})
+        cursor = 0
+        while cursor <= len(data):
+            if cursor in labels_at:
+                lines.append(f"{labels_at[cursor]}:")
+            if cursor == len(data):
+                break
+            if cursor in relocs:
+                reloc = relocs[cursor]
+                suffix = f"+{reloc.addend}" if reloc.addend else ""
+                lines.append(f"    .word {reloc.symbol}{suffix}")
+                cursor += 4
+                continue
+            stop = min(b for b in boundaries if b > cursor)
+            while cursor < stop:
+                chunk = data[cursor : min(stop, cursor + 12)]
+                rendered = ", ".join(str(b) for b in chunk)
+                lines.append(f"    .byte {rendered}")
+                cursor += len(chunk)
+    return "\n".join(lines) + "\n"
+
+
+def render_disassembly(binary: SefBinary, base: int = 0x08048000) -> str:
+    """objdump-style listing of the linked image: address, bytes, text."""
+    image = link(binary, base=base)
+    unit = disassemble(binary)
+    text = image.segment(".text")
+    names_by_address = {
+        address: name
+        for name, address in image.symbol_addresses.items()
+        if text.vaddr <= address < text.vaddr + len(text.data)
+    }
+    lines = [f"{binary.metadata.get('program', '?')}:  entry {image.entry:#010x}", ""]
+    for index, insn in enumerate(unit.insns):
+        address = text.vaddr + index * INSTRUCTION_SIZE
+        if address in names_by_address:
+            lines.append(f"{address:#010x} <{names_by_address[address]}>:")
+        raw = text.data[index * INSTRUCTION_SIZE : (index + 1) * INSTRUCTION_SIZE]
+        concrete = decode_instruction(raw)
+        rendered = str(insn.instruction)  # symbolic form when available
+        lines.append(f"  {address:#010x}:  {raw.hex()}  {rendered}")
+    for segment in image.segments:
+        if segment.name == ".text":
+            continue
+        lines.append("")
+        lines.append(
+            f"section {segment.name}: {segment.vaddr:#010x} "
+            f"size {segment.size}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_policy(policy) -> str:
+    """Human-readable dump of a ProgramPolicy (the §3.1 textual form)."""
+    lines = [
+        f"program: {policy.program} (personality {policy.personality}, "
+        f"program id {policy.program_id})",
+        f"sites: {policy.site_count()}   distinct syscalls: "
+        f"{len(policy.distinct_syscalls())}",
+    ]
+    if policy.unidentified_sites:
+        lines.append(
+            f"WARNING: {len(policy.unidentified_sites)} call site(s) could "
+            "not be identified (see §4.2 on disassembly limits)"
+        )
+    lines.append("")
+    for site in sorted(policy.sites):
+        lines.append(policy.sites[site].render())
+        lines.append("")
+    return "\n".join(lines)

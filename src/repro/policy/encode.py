@@ -1,0 +1,137 @@
+"""The encoded policy / encoded call (§3.3-§3.4).
+
+One function builds both: the installer calls it with values derived
+from static analysis (producing the *encoded policy* whose MAC becomes
+the call MAC), and the kernel calls it with values observed at trap
+time (producing the *encoded call*).  The MACs match iff every
+constrained property matches.
+
+Layout, concatenated little-endian::
+
+    u16  syscall number
+    u32  policy descriptor
+    u32  call site address          (when bit 0 set)
+    u32  basic block id of the call
+    for each constrained parameter, ascending index:
+        u32 value                    (immediate)
+      or
+        u32 address, u32 length, 16B stringMAC   (authenticated string)
+    u32  predecessor-set AS address  (when control flow set)
+    u32  predecessor-set length
+    16B  predecessor-set stringMAC
+    u32  lastBlock address           (when control flow set)
+    u32  fd-parameter bitmask        (when capability bit set, §5.3)
+    u32  allowed-producer-set AS address
+    u32  allowed-producer-set length
+    16B  allowed-producer-set stringMAC
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.crypto import MAC_SIZE
+from repro.policy.descriptor import MAX_PARAMS, PolicyDescriptor
+
+
+@dataclass(frozen=True)
+class ParamEncoding:
+    """Runtime/installer encoding of one constrained parameter."""
+
+    index: int
+    #: int for an immediate; for an AS the (address, length, mac) triple.
+    value: Union[int, tuple]
+
+    @classmethod
+    def immediate(cls, index: int, value: int) -> "ParamEncoding":
+        return cls(index, value & 0xFFFFFFFF)
+
+    @classmethod
+    def auth_string(
+        cls, index: int, address: int, length: int, mac: bytes
+    ) -> "ParamEncoding":
+        if len(mac) != MAC_SIZE:
+            raise ValueError(f"string MAC must be {MAC_SIZE} bytes")
+        return cls(index, (address & 0xFFFFFFFF, length & 0xFFFFFFFF, bytes(mac)))
+
+
+class EncodeError(ValueError):
+    """Raised when the inputs are inconsistent with the descriptor."""
+
+
+def encode_policy(
+    descriptor: PolicyDescriptor,
+    syscall_number: int,
+    call_site: int,
+    block_id: int,
+    params: list[ParamEncoding],
+    predset: Optional[tuple] = None,  # (address, length, mac)
+    lastblock_address: int = 0,
+    capability: Optional[tuple] = None,  # (fd_mask, (address, length, mac))
+) -> bytes:
+    """Build the canonical byte string that the call MAC covers."""
+    by_index = {p.index: p for p in params}
+    if len(by_index) != len(params):
+        raise EncodeError("duplicate parameter encodings")
+
+    out = bytearray()
+    out += struct.pack("<H", syscall_number & 0xFFFF)
+    out += struct.pack("<I", int(descriptor))
+    if descriptor.call_site_constrained:
+        out += struct.pack("<I", call_site & 0xFFFFFFFF)
+    out += struct.pack("<I", block_id & 0xFFFFFFFF)
+
+    for index in range(MAX_PARAMS):
+        if not descriptor.param_constrained(index) and not descriptor.param_is_pattern(index):
+            if index in by_index:
+                raise EncodeError(f"parameter {index} encoded but not constrained")
+            continue
+        if index not in by_index:
+            raise EncodeError(f"constrained parameter {index} missing an encoding")
+        entry = by_index[index]
+        if descriptor.param_is_string(index):
+            if not isinstance(entry.value, tuple):
+                raise EncodeError(f"parameter {index} must be an AS triple")
+            address, length, mac = entry.value
+            out += struct.pack("<II", address, length)
+            out += mac
+        else:
+            if not isinstance(entry.value, int):
+                raise EncodeError(f"parameter {index} must be an immediate")
+            out += struct.pack("<I", entry.value)
+
+    if descriptor.control_flow_constrained:
+        if predset is None:
+            raise EncodeError("control flow constrained but no predecessor set")
+        address, length, mac = predset
+        out += struct.pack("<II", address & 0xFFFFFFFF, length & 0xFFFFFFFF)
+        out += mac
+        out += struct.pack("<I", lastblock_address & 0xFFFFFFFF)
+    elif predset is not None:
+        raise EncodeError("predecessor set supplied without control flow bit")
+
+    if descriptor.capability_tracked:
+        if capability is None:
+            raise EncodeError("capability bit set but no capability spec")
+        fd_mask, (address, length, mac) = capability
+        out += struct.pack("<III", fd_mask & 0xFFFFFFFF, address & 0xFFFFFFFF, length & 0xFFFFFFFF)
+        out += mac
+    elif capability is not None:
+        raise EncodeError("capability spec supplied without capability bit")
+
+    return bytes(out)
+
+
+def pack_predecessor_set(block_ids: frozenset[int]) -> bytes:
+    """Serialize a predecessor set as the AS content: sorted u32 ids."""
+    return b"".join(struct.pack("<I", b) for b in sorted(block_ids))
+
+
+def unpack_predecessor_set(content: bytes) -> frozenset[int]:
+    if len(content) % 4:
+        raise EncodeError(f"predecessor set length {len(content)} not a multiple of 4")
+    return frozenset(
+        struct.unpack_from("<I", content, i)[0] for i in range(0, len(content), 4)
+    )

@@ -1,0 +1,163 @@
+"""Metapolicies and policy templates (§5.2).
+
+A metapolicy states what *must be* protected for each system call —
+derived from the call's threat level — as opposed to what *can be*
+protected automatically by static analysis.  When the installer cannot
+satisfy a metapolicy rule from analysis alone, it emits a
+:class:`PolicyTemplate` with named holes for the administrator to fill
+(by hand, or from dynamic profiling).  The filled template becomes the
+complete ASC policy used during rewriting.
+
+Metapolicies also drive dynamic-library processing (§5.2): a library
+function whose calls cannot satisfy the metapolicy is withdrawn from
+the shared library and set aside for static linking; see
+:mod:`repro.installer.dynlib`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, unique
+from typing import Optional, Union
+
+from repro.policy.descriptor import ParamClass
+from repro.policy.model import ParamPolicy, ProgramPolicy, SyscallPolicy
+
+
+@unique
+class Strictness(IntEnum):
+    """How demanding a rule is; higher threat level, stricter rule."""
+
+    NONE = 0  # nothing beyond the implicit syscall-number check
+    CALL_SITE = 1  # call site must be constrained
+    ARGS = 2  # call site + listed arguments must be constrained
+    FULL = 3  # call site + all non-output arguments must be constrained
+
+
+@dataclass(frozen=True)
+class MetaRule:
+    """Requirement for one system call name."""
+
+    syscall: str
+    strictness: Strictness = Strictness.CALL_SITE
+    required_params: frozenset[int] = frozenset()
+
+
+@dataclass
+class MetaPolicy:
+    """A machine's metapolicy: per-syscall rules plus a default."""
+
+    rules: dict[str, MetaRule] = field(default_factory=dict)
+    default: Strictness = Strictness.CALL_SITE
+
+    @classmethod
+    def high_threat_default(cls) -> "MetaPolicy":
+        """A representative metapolicy: dangerous calls are fully
+        constrained, file-creating calls must pin the path argument."""
+        rules = {
+            "execve": MetaRule("execve", Strictness.FULL),
+            "open": MetaRule("open", Strictness.ARGS, frozenset({0})),
+            "unlink": MetaRule("unlink", Strictness.ARGS, frozenset({0})),
+            "chmod": MetaRule("chmod", Strictness.ARGS, frozenset({0})),
+            "rename": MetaRule("rename", Strictness.ARGS, frozenset({0, 1})),
+            "socket": MetaRule("socket", Strictness.CALL_SITE),
+            "kill": MetaRule("kill", Strictness.CALL_SITE),
+        }
+        return cls(rules=rules)
+
+    def rule_for(self, syscall: str) -> MetaRule:
+        return self.rules.get(syscall, MetaRule(syscall, self.default))
+
+    # -- evaluation ------------------------------------------------------
+
+    def unmet_requirements(self, policy: SyscallPolicy) -> list[int]:
+        """Parameter indices the metapolicy demands but the static
+        analysis could not constrain (-1 represents the call site)."""
+        rule = self.rule_for(policy.syscall)
+        missing: list[int] = []
+        if rule.strictness is Strictness.NONE:
+            return missing
+        # Call sites are always constrained by our installer, so the
+        # CALL_SITE tier is always satisfiable; check anyway for safety.
+        if not policy.descriptor().call_site_constrained:
+            missing.append(-1)
+        if rule.strictness is Strictness.ARGS:
+            wanted = rule.required_params
+        elif rule.strictness is Strictness.FULL:
+            wanted = frozenset(range(policy.arg_count)) - policy.output_params
+        else:
+            wanted = frozenset()
+        for index in sorted(wanted):
+            if index not in policy.params:
+                missing.append(index)
+        return missing
+
+    def evaluate(self, program_policy: ProgramPolicy) -> "PolicyTemplate":
+        """Produce a template with holes for every unmet requirement."""
+        template = PolicyTemplate(program=program_policy.program, metapolicy=self)
+        for site, policy in sorted(program_policy.sites.items()):
+            for index in self.unmet_requirements(policy):
+                if index >= 0:
+                    template.holes.append(TemplateHole(site, policy.syscall, index))
+        template.base = program_policy
+        return template
+
+
+@dataclass(frozen=True)
+class TemplateHole:
+    """One unfilled requirement: this site's parameter needs a value."""
+
+    call_site: int
+    syscall: str
+    param_index: int
+
+
+@dataclass
+class PolicyTemplate:
+    """A partially complete policy awaiting administrator input."""
+
+    program: str
+    metapolicy: MetaPolicy
+    holes: list[TemplateHole] = field(default_factory=list)
+    base: Optional[ProgramPolicy] = None
+    fills: dict[tuple[int, int], Union[int, bytes, str]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return all(
+            (hole.call_site, hole.param_index) in self.fills for hole in self.holes
+        )
+
+    def fill(
+        self, call_site: int, param_index: int, value: Union[int, bytes, str]
+    ) -> None:
+        """Administrator supplies a constant (int/bytes) or a pattern (str)."""
+        if not any(
+            hole.call_site == call_site and hole.param_index == param_index
+            for hole in self.holes
+        ):
+            raise KeyError(f"no hole at site {call_site:#x} param {param_index}")
+        self.fills[(call_site, param_index)] = value
+
+    def resolve(self) -> ProgramPolicy:
+        """Apply the fills, producing the complete ASC policy."""
+        if self.base is None:
+            raise ValueError("template has no base policy")
+        if not self.complete:
+            unfilled = [
+                hole for hole in self.holes
+                if (hole.call_site, hole.param_index) not in self.fills
+            ]
+            raise ValueError(f"{len(unfilled)} template holes remain unfilled")
+        for (site, index), value in self.fills.items():
+            policy = self.base.sites[site]
+            if isinstance(value, int):
+                policy.params[index] = ParamPolicy(index, ParamClass.IMMEDIATE, value)
+            else:
+                # Dynamic string arguments are constrained as (possibly
+                # literal) patterns — see repro.installer.core for why.
+                text = value.decode("utf-8") if isinstance(value, bytes) else str(value)
+                policy.params[index] = ParamPolicy(
+                    index, ParamClass.STRING, text.encode(), pattern=text
+                )
+        return self.base

@@ -1,0 +1,38 @@
+"""File-name normalization (§5.4).
+
+A policy that permits ``open("/tmp/foo")`` is useless if an attacker
+can plant a symlink ``/tmp/foo -> /etc/passwd``: the string the policy
+checks and the file the kernel opens diverge.  The fix is the standard
+one — compare *normalized* names (all symlinks resolved, ``.``/``..``
+folded) during system call checking, inside the kernel, on the same
+resolution the actual open will use.
+
+:func:`check_normalized` is the kernel-side helper; it is used by the
+extension-enabled trap path and by the Systrace baseline monitor.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.vfs import Vfs, VfsError
+
+
+def normalize_path(vfs: Vfs, path: str, cwd: str = "/") -> str:
+    """Best-effort canonicalization; unresolvable paths normalize to
+    themselves (made absolute), so missing files still compare sanely."""
+    try:
+        return vfs.normalize(path, cwd)
+    except VfsError:
+        if path.startswith("/"):
+            return path
+        return cwd.rstrip("/") + "/" + path
+
+
+def check_normalized(vfs: Vfs, observed: str, permitted: str, cwd: str = "/") -> bool:
+    """Does ``observed`` refer to the object ``permitted`` names?
+
+    ``permitted`` is the policy's name, normalized once at installation
+    time against the pristine filesystem; it is compared literally.
+    Only the runtime ``observed`` name is normalized — otherwise an
+    attacker who plants a symlink *at the policy's own path* would
+    drag both sides of the comparison along with it."""
+    return normalize_path(vfs, observed, cwd) == permitted

@@ -1,0 +1,165 @@
+"""Argument patterns with proof hints (§5.1).
+
+Patterns are the paper's glob dialect: literal characters, ``*`` (any
+character sequence), and ``{a,b,c}`` alternation.  Rather than teach
+the kernel regular-expression matching, the *untrusted application*
+matches the argument and hands the kernel a **proof hint**: for each
+``{}`` the index of the branch taken, and for each ``*`` the exact
+number of characters it consumed.  The kernel then verifies the match
+with a single linear scan — program-checking in the Blum/Kannan sense.
+
+The paper's worked example: pattern ``/tmp/{foo,bar}*baz``, argument
+``/tmp/foofoobaz``, hint ``(0, 3)`` — branch 0 ("foo"), then ``*``
+consumes exactly 3 characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+
+class PatternError(ValueError):
+    """Malformed pattern text."""
+
+
+@dataclass(frozen=True)
+class _Literal:
+    text: bytes
+
+
+@dataclass(frozen=True)
+class _Star:
+    pass
+
+
+@dataclass(frozen=True)
+class _Choice:
+    branches: tuple[bytes, ...]
+
+
+_Element = Union[_Literal, _Star, _Choice]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A parsed pattern; ``source`` is kept for storage as an AS."""
+
+    source: str
+    elements: tuple[_Element, ...]
+
+    @classmethod
+    def parse(cls, source: str) -> "Pattern":
+        elements: list[_Element] = []
+        literal = bytearray()
+
+        def flush() -> None:
+            if literal:
+                elements.append(_Literal(bytes(literal)))
+                literal.clear()
+
+        i = 0
+        while i < len(source):
+            ch = source[i]
+            if ch == "*":
+                flush()
+                elements.append(_Star())
+                i += 1
+            elif ch == "{":
+                end = source.find("}", i)
+                if end < 0:
+                    raise PatternError(f"unterminated {{ in pattern {source!r}")
+                body = source[i + 1 : end]
+                if not body:
+                    raise PatternError(f"empty alternation in pattern {source!r}")
+                flush()
+                elements.append(
+                    _Choice(tuple(b.encode("utf-8") for b in body.split(",")))
+                )
+                i = end + 1
+            elif ch == "}":
+                raise PatternError(f"stray }} in pattern {source!r}")
+            else:
+                literal.append(ord(ch))
+                i += 1
+        flush()
+        return cls(source=source, elements=tuple(elements))
+
+    @property
+    def hint_slots(self) -> int:
+        """Number of hint integers a proof for this pattern needs."""
+        return sum(
+            1 for e in self.elements if isinstance(e, (_Star, _Choice))
+        )
+
+
+def match_with_hint(
+    pattern: Pattern, argument: bytes, hint: Sequence[int]
+) -> bool:
+    """The kernel-side verifier: O(len(argument) + len(pattern)).
+
+    Scans pattern and argument left to right, consuming one hint value
+    per ``*``/``{}`` element.  Returns False on any mismatch, a wrong
+    hint, or leftover input."""
+    cursor = 0
+    hint_index = 0
+    for element in pattern.elements:
+        if isinstance(element, _Literal):
+            end = cursor + len(element.text)
+            if argument[cursor:end] != element.text:
+                return False
+            cursor = end
+        elif isinstance(element, _Choice):
+            if hint_index >= len(hint):
+                return False
+            branch = hint[hint_index]
+            hint_index += 1
+            if not 0 <= branch < len(element.branches):
+                return False
+            text = element.branches[branch]
+            end = cursor + len(text)
+            if argument[cursor:end] != text:
+                return False
+            cursor = end
+        else:  # _Star
+            if hint_index >= len(hint):
+                return False
+            skip = hint[hint_index]
+            hint_index += 1
+            if skip < 0 or cursor + skip > len(argument):
+                return False
+            cursor += skip
+    return cursor == len(argument) and hint_index == len(hint)
+
+
+def derive_hint(pattern: Pattern, argument: bytes) -> Optional[tuple[int, ...]]:
+    """The application-side prover: backtracking search for a hint.
+
+    This is the work the paper pushes *out* of the kernel; it may be
+    super-linear, which is exactly why the kernel only verifies."""
+
+    def search(element_index: int, cursor: int) -> Optional[tuple[int, ...]]:
+        if element_index == len(pattern.elements):
+            return () if cursor == len(argument) else None
+        element = pattern.elements[element_index]
+        if isinstance(element, _Literal):
+            end = cursor + len(element.text)
+            if argument[cursor:end] != element.text:
+                return None
+            return search(element_index + 1, end)
+        if isinstance(element, _Choice):
+            for branch, text in enumerate(element.branches):
+                end = cursor + len(text)
+                if argument[cursor:end] == text:
+                    rest = search(element_index + 1, end)
+                    if rest is not None:
+                        return (branch,) + rest
+            return None
+        # _Star: try every consumable length (shortest first).
+        for skip in range(len(argument) - cursor + 1):
+            rest = search(element_index + 1, cursor + skip)
+            if rest is not None:
+                return (skip,) + rest
+        return None
+
+    return search(0, 0)

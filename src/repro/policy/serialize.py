@@ -1,0 +1,171 @@
+"""Policy serialization: human-auditable policy files.
+
+The paper argues that coupling policies to binaries (instead of
+loading them from policy files) removes an attack surface — §5.5:
+"these systems can be compromised by modifying the policy files".
+Policies here are therefore *exported* artifacts, not enforcement
+inputs: the administrator dumps them for review, diffing, and audit
+trails, and the canonical copy stays MAC-bound inside the binary.
+
+The format is line-oriented and stable (sorted keys, no floats), so
+two installs of the same binary produce byte-identical policy files —
+which lets release pipelines diff policies across versions the way
+Systrace users diff their policy files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.policy.descriptor import ParamClass
+from repro.policy.model import ParamPolicy, ProgramPolicy, SyscallPolicy
+
+FORMAT_VERSION = 1
+
+
+def _param_to_json(param: ParamPolicy) -> dict:
+    entry: dict = {"index": param.index, "kind": param.kind.value}
+    if param.pattern is not None:
+        entry["pattern"] = param.pattern
+    elif isinstance(param.value, bytes):
+        entry["value"] = param.value.decode("utf-8", "backslashreplace")
+    elif param.symbol is not None:
+        entry["symbol"] = str(param.symbol)
+    else:
+        entry["value"] = param.value
+    return entry
+
+
+def _param_from_json(entry: dict) -> ParamPolicy:
+    kind = ParamClass(entry["kind"])
+    pattern = entry.get("pattern")
+    if pattern is not None:
+        return ParamPolicy(entry["index"], kind, pattern.encode(), pattern=pattern)
+    if "symbol" in entry:
+        from repro.isa import SymbolRef
+
+        text = entry["symbol"]
+        name, sign, addend = text, "", "0"
+        for separator in ("+", "-"):
+            head, _, tail = text.rpartition(separator)
+            if head and tail.isdigit():
+                name, sign, addend = head, separator, tail
+                break
+        ref = SymbolRef(name, -int(addend) if sign == "-" else int(addend))
+        return ParamPolicy(entry["index"], kind, 0, symbol=ref)
+    value = entry.get("value")
+    if kind is ParamClass.STRING and isinstance(value, str):
+        value = value.encode("utf-8")
+    return ParamPolicy(entry["index"], kind, value)
+
+
+def policy_to_json(policy: ProgramPolicy) -> str:
+    """Serialize a program policy to canonical JSON."""
+    sites = []
+    for call_site in sorted(policy.sites):
+        site = policy.sites[call_site]
+        sites.append({
+            "syscall": site.syscall,
+            "number": site.number,
+            "call_site": site.call_site,
+            "block_id": site.block_id,
+            "arg_count": site.arg_count,
+            "control_flow": site.control_flow,
+            "predecessors": sorted(site.predecessors),
+            "params": [
+                _param_to_json(site.params[index])
+                for index in sorted(site.params)
+            ],
+            "output_params": sorted(site.output_params),
+            "multi_value_params": sorted(site.multi_value_params),
+            "fd_params": sorted(site.fd_params),
+            "fd_producers": {
+                str(index): sorted(producers)
+                for index, producers in sorted(site.fd_producers.items())
+            },
+        })
+    document = {
+        "format": FORMAT_VERSION,
+        "program": policy.program,
+        "personality": policy.personality,
+        "program_id": policy.program_id,
+        "unidentified_sites": list(policy.unidentified_sites),
+        "sites": sites,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def policy_from_json(text: str) -> ProgramPolicy:
+    """Parse a policy file back into a ProgramPolicy."""
+    document = json.loads(text)
+    if document.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported policy format {document.get('format')!r}"
+        )
+    policy = ProgramPolicy(
+        program=document["program"],
+        personality=document.get("personality", "linux"),
+        program_id=document.get("program_id", 0),
+        unidentified_sites=list(document.get("unidentified_sites", [])),
+    )
+    for entry in document["sites"]:
+        site = SyscallPolicy(
+            syscall=entry["syscall"],
+            number=entry["number"],
+            call_site=entry["call_site"],
+            block_id=entry["block_id"],
+            arg_count=entry["arg_count"],
+            control_flow=entry["control_flow"],
+            predecessors=frozenset(entry["predecessors"]),
+            output_params=frozenset(entry["output_params"]),
+            multi_value_params=frozenset(entry["multi_value_params"]),
+            fd_params=frozenset(entry["fd_params"]),
+        )
+        for param_entry in entry["params"]:
+            param = _param_from_json(param_entry)
+            site.params[param.index] = param
+        for index, producers in entry.get("fd_producers", {}).items():
+            site.fd_producers[int(index)] = frozenset(producers)
+        policy.add(site)
+        policy.syscall_graph[site.block_id] = site.predecessors
+    return policy
+
+
+def diff_policies(old: ProgramPolicy, new: ProgramPolicy) -> list:
+    """Audit-level diff: which syscalls appeared/disappeared, which
+    sites changed constraints.  Returns human-readable lines."""
+    lines: list[str] = []
+    old_calls = old.distinct_syscalls()
+    new_calls = new.distinct_syscalls()
+    for name in sorted(new_calls - old_calls):
+        lines.append(f"+ syscall {name} now permitted")
+    for name in sorted(old_calls - new_calls):
+        lines.append(f"- syscall {name} no longer permitted")
+
+    old_by_block = {site.block_id: site for site in old.sites.values()}
+    new_by_block = {site.block_id: site for site in new.sites.values()}
+    for block in sorted(set(old_by_block) & set(new_by_block)):
+        before, after = old_by_block[block], new_by_block[block]
+        if before.syscall != after.syscall:
+            lines.append(
+                f"~ block {block}: syscall {before.syscall} -> {after.syscall}"
+            )
+            continue
+        removed = set(before.params) - set(after.params)
+        added = set(after.params) - set(before.params)
+        for index in sorted(removed):
+            lines.append(
+                f"~ block {block} ({before.syscall}): param {index} "
+                f"no longer constrained"
+            )
+        for index in sorted(added):
+            lines.append(
+                f"~ block {block} ({before.syscall}): param {index} "
+                f"newly constrained"
+            )
+        if before.predecessors != after.predecessors:
+            lines.append(
+                f"~ block {block} ({before.syscall}): predecessor set changed"
+            )
+    return lines

@@ -1,0 +1,263 @@
+"""The ``repro.tools`` command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.asm import assemble
+from repro.binfmt import SefBinary
+from repro.crypto import Key
+from repro.installer import InstallerOptions, install
+from repro.kernel import EnforcementMode, Kernel
+from repro.plto import disassemble
+from repro.plto.printer import render_disassembly, render_policy, render_unit
+
+
+def _key_from(args) -> Key:
+    provider = "fast-hmac" if args.fast_mac else "aes-cmac"
+    return Key.from_passphrase(args.key, provider=provider)
+
+
+def _load_binary(path: str) -> SefBinary:
+    return SefBinary.from_bytes(Path(path).read_bytes())
+
+
+def _cmd_assemble(args) -> int:
+    source = Path(args.source).read_text()
+    program = args.program or Path(args.source).stem
+    binary = assemble(source, metadata={"program": program})
+    out = args.output or str(Path(args.source).with_suffix(".sef"))
+    Path(out).write_bytes(binary.to_bytes())
+    print(f"assembled {program}: {binary.sections['.text'].size} text bytes -> {out}")
+    return 0
+
+
+def _cmd_install(args) -> int:
+    binary = _load_binary(args.binary)
+    options = InstallerOptions(
+        control_flow=not args.no_control_flow,
+        program_id=args.program_id,
+        capability_tracking=args.capability_tracking,
+    )
+    installed = install(binary, _key_from(args), options)
+    out = args.output or args.binary.replace(".sef", "") + ".asc.sef"
+    Path(out).write_bytes(installed.binary.to_bytes())
+    print(
+        f"installed {installed.policy.program}: "
+        f"{installed.sites_rewritten} call sites rewritten, "
+        f"{len(installed.policy.distinct_syscalls())} distinct syscalls -> {out}"
+    )
+    if installed.policy.unidentified_sites:
+        print(
+            f"WARNING: {len(installed.policy.unidentified_sites)} sites "
+            "could not be identified",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_objdump(args) -> int:
+    binary = _load_binary(args.binary)
+    if args.source_form:
+        print(render_unit(disassemble(binary)), end="")
+    else:
+        print(render_disassembly(binary), end="")
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    binary = _load_binary(args.binary)
+    if binary.metadata.get("authenticated") == "yes":
+        print(
+            "note: binary is already installed; regenerating policies "
+            "from its (rewritten) code",
+            file=sys.stderr,
+        )
+    from repro.installer import generate_policy_only
+
+    policy = generate_policy_only(binary)
+    if args.json:
+        from repro.policy.serialize import policy_to_json
+
+        print(policy_to_json(policy), end="")
+    else:
+        print(render_policy(policy), end="")
+    return 0
+
+
+def _cmd_policy_diff(args) -> int:
+    from repro.policy.serialize import diff_policies, policy_from_json
+
+    old = policy_from_json(Path(args.old).read_text())
+    new = policy_from_json(Path(args.new).read_text())
+    lines = diff_policies(old, new)
+    for line in lines:
+        print(line)
+    if not lines:
+        print("policies are equivalent")
+    return 1 if lines else 0
+
+
+def _cmd_run(args) -> int:
+    binary = _load_binary(args.binary)
+    kernel = Kernel(
+        key=_key_from(args),
+        mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
+    )
+    for spec in args.file or []:
+        path, _, content = spec.partition("=")
+        kernel.vfs.write_file(path, content.encode())
+    stdin = args.stdin.encode() if args.stdin else b""
+    argv = [binary.metadata.get("program", "a.out")] + (args.args or [])
+    result = kernel.run(binary, argv=argv, stdin=stdin)
+    sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+    sys.stderr.write(result.stderr.decode("utf-8", "replace"))
+    if result.killed:
+        print(f"[killed] {result.kill_reason}", file=sys.stderr)
+        for event in kernel.audit.alerts():
+            print(f"[audit] {event.render()}", file=sys.stderr)
+    if args.stats:
+        print(
+            f"[stats] cycles={result.cycles} instructions={result.instructions} "
+            f"syscalls={result.syscalls}",
+            file=sys.stderr,
+        )
+    return result.exit_status
+
+
+def _cmd_attacks(args) -> int:
+    from repro.attacks import run_all_attacks
+
+    results = run_all_attacks(_key_from(args))
+    width = max(len(r.name) for r in results)
+    failures = 0
+    for result in results:
+        expected_block = result.name != "frankenstein/undefended"
+        status = "BLOCKED" if result.blocked else "succeeded"
+        marker = "ok" if result.blocked == expected_block else "UNEXPECTED"
+        print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
+        if result.blocked != expected_block:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    """Print the archived benchmark reports in paper order."""
+    results = Path(args.results_dir)
+    order = [
+        ("table1_policy_sizes", "Table 1"),
+        ("table2_bison_diff", "Table 2"),
+        ("table3_arg_coverage", "Table 3"),
+        ("table4_microbench", "Table 4"),
+        ("table5_table6_macro", "Tables 5 & 6"),
+        ("andrew_multiprogram", "Andrew-like benchmark"),
+        ("attack_battery", "Attack experiments"),
+        ("false_alarms", "False alarms"),
+        ("installer_cost", "Installation cost"),
+        ("extensions_ablations", "Ablations & extensions"),
+    ]
+    missing = []
+    for stem, title in order:
+        path = results / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        print("=" * 72)
+        print(path.read_text().rstrip())
+        print()
+    if missing:
+        print(
+            "missing reports (run `pytest benchmarks/ --benchmark-only`): "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Authenticated system calls: administrator tools",
+    )
+    parser.add_argument(
+        "--key", default="machine-key",
+        help="key passphrase shared by installer and kernel",
+    )
+    parser.add_argument(
+        "--fast-mac", action="store_true",
+        help="use the HMAC-based MAC provider (faster host runs; "
+             "identical simulated costs)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("assemble", help="assemble SVM32 source")
+    cmd.add_argument("source")
+    cmd.add_argument("-o", "--output")
+    cmd.add_argument("--program", help="program name metadata")
+    cmd.set_defaults(handler=_cmd_assemble)
+
+    cmd = commands.add_parser("install", help="run the trusted installer")
+    cmd.add_argument("binary")
+    cmd.add_argument("-o", "--output")
+    cmd.add_argument("--no-control-flow", action="store_true")
+    cmd.add_argument("--program-id", type=int, default=0,
+                     help="unique program id (Frankenstein defense)")
+    cmd.add_argument("--capability-tracking", action="store_true")
+    cmd.set_defaults(handler=_cmd_install)
+
+    cmd = commands.add_parser("objdump", help="disassemble a binary")
+    cmd.add_argument("binary")
+    cmd.add_argument("--source-form", action="store_true",
+                     help="emit re-assemblable source instead of a listing")
+    cmd.set_defaults(handler=_cmd_objdump)
+
+    cmd = commands.add_parser("policy", help="print generated policies")
+    cmd.add_argument("binary")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the canonical policy-file form")
+    cmd.set_defaults(handler=_cmd_policy)
+
+    cmd = commands.add_parser(
+        "policy-diff", help="audit diff between two exported policy files"
+    )
+    cmd.add_argument("old")
+    cmd.add_argument("new")
+    cmd.set_defaults(handler=_cmd_policy_diff)
+
+    cmd = commands.add_parser("run", help="run under the checking kernel")
+    cmd.add_argument("binary")
+    cmd.add_argument("args", nargs="*")
+    cmd.add_argument("--enforce", action="store_true",
+                     help="refuse unauthenticated binaries")
+    cmd.add_argument("--stdin", help="bytes fed to the program's stdin")
+    cmd.add_argument("--file", action="append",
+                     help="pre-populate the VFS: --file /path=content")
+    cmd.add_argument("--stats", action="store_true")
+    cmd.set_defaults(handler=_cmd_run)
+
+    cmd = commands.add_parser("attacks", help="run the attack battery")
+    cmd.set_defaults(handler=_cmd_attacks)
+
+    cmd = commands.add_parser(
+        "report", help="print archived benchmark reports in paper order"
+    )
+    cmd.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory produced by the benchmark suite",
+    )
+    cmd.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

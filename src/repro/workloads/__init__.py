@@ -1,0 +1,48 @@
+"""Workload corpus: the programs the evaluation runs.
+
+The paper measures real Unix binaries (bison, calc, screen, tar, the
+SPECint-2000 suite, and a toolbox of gzip/rm/mv/... for the Andrew-like
+benchmark).  Those binaries cannot run on SVM32, so this package
+provides:
+
+- :mod:`repro.workloads.runtime` -- the "mini-libc": syscall stubs and
+  string helpers in SVM32 assembly, with per-OS *personalities* that
+  reproduce the cross-platform effects of §4.2 (OpenBSD's ``__syscall``
+  indirection for mmap; its ``close`` implementation that the
+  disassembler cannot decode).
+- :mod:`repro.workloads.tools` -- real, runnable mini-tools (cat, cp,
+  mv, rm, chmod, mkdir, ls, tar, untar, gzip, gunzip, ...) written in
+  the assembly DSL; these do genuine work against the simulated VFS.
+- :mod:`repro.workloads.profiles` -- synthesized *profile programs*
+  reproducing the published static structure of bison / calc / screen /
+  tar (Tables 1-3): the same distinct-syscall inventories, call-site
+  counts, and argument-class mix, fed through the real installer.
+- :mod:`repro.workloads.spec` -- dynamic-behaviour programs for the
+  Table 5/6 macrobenchmarks: each models its namesake's syscall density
+  and CPU intensity.
+- :mod:`repro.workloads.andrew` -- the multiprogram (Andrew-like)
+  benchmark driver of §4.3.
+"""
+
+from repro.workloads.runtime import SyscallAbi, runtime_source
+from repro.workloads.tools import TOOLS, build_tool
+from repro.workloads.profiles import (
+    PROFILE_PROGRAMS,
+    build_profile_program,
+    profile_syscalls,
+)
+from repro.workloads.spec import SPEC_PROGRAMS, build_spec_program
+from repro.workloads.andrew import AndrewBenchmark
+
+__all__ = [
+    "AndrewBenchmark",
+    "PROFILE_PROGRAMS",
+    "SPEC_PROGRAMS",
+    "SyscallAbi",
+    "TOOLS",
+    "build_profile_program",
+    "build_spec_program",
+    "build_tool",
+    "profile_syscalls",
+    "runtime_source",
+]

@@ -1,0 +1,202 @@
+"""The mini-libc: syscall stubs, string helpers, OS personalities.
+
+Every workload program links (textually) against this runtime.  Each
+system call gets a straight-line stub::
+
+    sys_open:
+        li r0, 5
+        sys
+        ret
+
+which is exactly the shape the installer's stub inliner recognizes, so
+every *call* to a stub becomes its own policy site — reproducing the
+paper's observation that "system calls are often made from stubs that
+are invoked by many blocks".
+
+Personalities (§4.2):
+
+- ``linux`` -- every call is a direct stub.
+- ``openbsd`` -- two deviations the paper reports for its OpenBSD port:
+
+  1. ``mmap`` is invoked through ``__syscall``, the generic indirect
+     system call, with the real number as the first argument.  Static
+     analysis constrains that argument, so the ASC policy (correctly)
+     lists ``__syscall`` while Systrace policies list ``mmap``.
+  2. ``close`` loads its syscall number from a data word — the stand-in
+     for "an unusual implementation ... that PLTO currently cannot
+     disassemble".  Constant propagation cannot see through the load,
+     so the call is *reported and omitted* from the ASC policy, which
+     is how ``close`` ends up Systrace-only in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.syscalls import SYSCALL_NUMBERS
+
+PERSONALITIES = ("linux", "openbsd")
+
+
+@dataclass(frozen=True)
+class SyscallAbi:
+    """How guest code reaches one system call on one personality."""
+
+    name: str
+    stub: str  # label of the stub to CALL
+    direct: bool  # False when routed through __syscall
+
+
+def runtime_source(
+    personality: str = "linux",
+    syscalls: tuple = (),
+) -> str:
+    """Render the runtime assembly for the requested personality.
+
+    ``syscalls`` limits which stubs are emitted (programs list what
+    they use, keeping binaries small); empty means "all".
+    """
+    if personality not in PERSONALITIES:
+        raise ValueError(f"unknown personality {personality!r}")
+    wanted = set(syscalls) if syscalls else set(SYSCALL_NUMBERS)
+    lines: list[str] = ["; --- mini-libc runtime (%s) ---" % personality]
+    lines.append(".section .text")
+
+    for name in sorted(wanted):
+        number = SYSCALL_NUMBERS[name]
+        stub = stub_label(name)
+        if personality == "openbsd" and name == "mmap":
+            # mmap via the generic indirect syscall: shift args right,
+            # pass the real number as argument 0.
+            # Arguments shift right one slot; mmap's trailing offset
+            # argument falls off the 6-register window, which the
+            # kernel's mmap (like the paper-era one for anonymous maps)
+            # ignores.
+            lines += [
+                f"{stub}:",
+                "    mov r6, r5",
+                "    mov r5, r4",
+                "    mov r4, r3",
+                "    mov r3, r2",
+                "    mov r2, r1",
+                f"    li r1, {SYSCALL_NUMBERS['mmap']}",
+                f"    li r0, {SYSCALL_NUMBERS['__syscall']}",
+                "    sys",
+                "    ret",
+            ]
+        elif personality == "openbsd" and name == "close":
+            # The number comes from memory; constant propagation stops
+            # at the load, so the installer cannot identify the call.
+            lines += [
+                f"{stub}:",
+                "    li r9, __close_number",
+                "    ld r0, [r9+0]",
+                "    sys",
+                "    ret",
+            ]
+        else:
+            lines += [
+                f"{stub}:",
+                f"    li r0, {number}",
+                "    sys",
+                "    ret",
+            ]
+
+    if personality == "openbsd" and "close" in wanted:
+        lines += [
+            ".section .data",
+            "__close_number:",
+            f"    .word {SYSCALL_NUMBERS['close']}",
+            ".section .text",
+        ]
+
+    lines += _HELPERS
+    return "\n".join(lines) + "\n"
+
+
+def stub_label(name: str) -> str:
+    return f"sys_{name.lstrip('_')}" if name.startswith("__") else f"sys_{name}"
+
+
+#: String/memory helpers used by the tools.
+#:
+#: Register contract: arguments in r1..r3, result in r0; helpers
+#: clobber ONLY r0, r9, r10.  Tools keep durable state in r11..r14 (and
+#: r4..r6 between calls that do not use them as syscall arguments).
+#: r7/r8 are reserved for the installer (auth record and hint pointers)
+#: and must never carry program state across a system call.
+_HELPERS = [
+    "; --- helpers (clobber r0, r9, r10 only) ---",
+    # strlen(r1) -> r0
+    "rt_strlen:",
+    "    li r0, 0",
+    ".rt_strlen_loop:",
+    "    add r9, r1, r0",
+    "    ldb r10, [r9+0]",
+    "    cmpi r10, 0",
+    "    beq .rt_strlen_done",
+    "    addi r0, r0, 1",
+    "    jmp .rt_strlen_loop",
+    ".rt_strlen_done:",
+    "    ret",
+    # memcpy(dst=r1, src=r2, n=r3)
+    "rt_memcpy:",
+    "    li r9, 0",
+    ".rt_memcpy_loop:",
+    "    cmp r9, r3",
+    "    bge .rt_memcpy_done",
+    "    add r10, r2, r9",
+    "    ldb r0, [r10+0]",
+    "    add r10, r1, r9",
+    "    stb r0, [r10+0]",
+    "    addi r9, r9, 1",
+    "    jmp .rt_memcpy_loop",
+    ".rt_memcpy_done:",
+    "    ret",
+    # memset(dst=r1, byte=r2, n=r3)
+    "rt_memset:",
+    "    li r9, 0",
+    ".rt_memset_loop:",
+    "    cmp r9, r3",
+    "    bge .rt_memset_done",
+    "    add r10, r1, r9",
+    "    stb r2, [r10+0]",
+    "    addi r9, r9, 1",
+    "    jmp .rt_memset_loop",
+    ".rt_memset_done:",
+    "    ret",
+    # strcpy(dst=r1, src=r2) -> r0 = length copied (excl. NUL)
+    "rt_strcpy:",
+    "    li r0, 0",
+    ".rt_strcpy_loop:",
+    "    add r9, r2, r0",
+    "    ldb r10, [r9+0]",
+    "    add r9, r1, r0",
+    "    stb r10, [r9+0]",
+    "    cmpi r10, 0",
+    "    beq .rt_strcpy_done",
+    "    addi r0, r0, 1",
+    "    jmp .rt_strcpy_loop",
+    ".rt_strcpy_done:",
+    "    ret",
+    # strcmp(r1, r2) -> r0 (0 when equal)
+    "rt_strcmp:",
+    "    li r9, 0",
+    ".rt_strcmp_loop:",
+    "    add r10, r1, r9",
+    "    ldb r0, [r10+0]",
+    "    add r10, r2, r9",
+    "    ldb r10, [r10+0]",
+    "    cmp r0, r10",
+    "    bne .rt_strcmp_diff",
+    "    cmpi r0, 0",
+    "    beq .rt_strcmp_eq",
+    "    addi r9, r9, 1",
+    "    jmp .rt_strcmp_loop",
+    ".rt_strcmp_eq:",
+    "    li r0, 0",
+    "    ret",
+    ".rt_strcmp_diff:",
+    "    sub r0, r0, r10",
+    "    ret",
+]

@@ -1,0 +1,159 @@
+"""Assembler tests: parsing, symbol/relocation emission, directives."""
+
+import struct
+
+import pytest
+
+from repro.asm import AsmError, AsmSyntaxError, assemble, parse
+from repro.binfmt import link
+from repro.isa import INSTRUCTION_SIZE, Op, decode_instruction
+
+HELLO = """
+.equ SYS_write, 4
+.section .text
+.global _start
+_start:
+    li r0, SYS_write
+    li r1, 1
+    li r2, msg
+    li r3, 6
+    sys
+    halt
+.section .rodata
+msg:
+    .asciz "hello\\n"
+"""
+
+
+class TestParse:
+    def test_label_and_instruction_same_line(self):
+        stmts = parse("loop: addi r1, r1, 1")
+        assert stmts[0].name == "loop"
+        assert stmts[1].op == Op.ADDI
+
+    def test_comments_stripped(self):
+        stmts = parse("nop ; trailing\n# full line\nhalt")
+        assert len(stmts) == 2
+
+    def test_semicolon_inside_string_kept(self):
+        stmts = parse('.asciz "a;b"')
+        assert stmts[0].args[0] == b"a;b"
+
+    def test_char_literal(self):
+        stmts = parse("cmpi r1, 'a'")
+        assert stmts[0].operands[1].addend == ord("a")
+
+    def test_escape_in_string(self):
+        stmts = parse('.asciz "a\\tb\\n"')
+        assert stmts[0].args[0] == b"a\tb\n"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError):
+            parse("frobnicate r1")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmSyntaxError):
+            parse(".frob 12")
+
+    def test_memory_operand_forms(self):
+        stmts = parse("ld r1, [sp+8]\nld r2, [sp-4]\nld r3, [r4]")
+        assert stmts[0].operands[1].addend == 8
+        assert stmts[1].operands[1].addend == -4
+        assert stmts[2].operands[1].base == 4
+
+    def test_symbolic_displacement(self):
+        stmts = parse("ld r1, [r2+table]")
+        assert stmts[0].operands[1].symbol == "table"
+
+
+class TestAssemble:
+    def test_hello_structure(self):
+        binary = assemble(HELLO)
+        text = binary.sections[".text"]
+        assert text.size == 6 * INSTRUCTION_SIZE
+        assert binary.symbols["msg"].section == ".rodata"
+        assert binary.symbols["_start"].binding == "global"
+        # exactly one relocation: the li r2, msg
+        assert len(binary.relocations) == 1
+        assert binary.relocations[0].symbol == "msg"
+        assert binary.relocations[0].offset == 2 * INSTRUCTION_SIZE + 4
+
+    def test_equ_resolution(self):
+        binary = assemble(HELLO)
+        first = decode_instruction(bytes(binary.sections[".text"].data), 0)
+        assert first.op == Op.LI
+        assert first.imm == 4
+
+    def test_equ_chains(self):
+        binary = assemble(
+            ".equ A, 5\n.equ B, A+2\n.section .text\n_start: li r0, B\nhalt"
+        )
+        first = decode_instruction(bytes(binary.sections[".text"].data), 0)
+        assert first.imm == 7
+
+    def test_equ_forward_reference_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".equ B, A+1\n.equ A, 1\n.section .text\n_start: halt")
+
+    def test_word_with_symbol_emits_relocation(self):
+        binary = assemble(
+            ".section .text\n_start: halt\n.section .data\nptr: .word _start"
+        )
+        relocs = binary.relocations_for(".data")
+        assert 0 in relocs and relocs[0].symbol == "_start"
+
+    def test_negative_immediate(self):
+        binary = assemble(".section .text\n_start: addi sp, sp, -16\nhalt")
+        first = decode_instruction(bytes(binary.sections[".text"].data), 0)
+        assert first.imm == 0xFFFFFFF0
+
+    def test_bss_space(self):
+        binary = assemble(
+            ".section .text\n_start: halt\n.section .bss\nbuf: .space 256"
+        )
+        assert binary.sections[".bss"].reserve == 256
+        assert binary.symbols["buf"].offset == 0
+
+    def test_data_in_bss_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".section .text\n_start: halt\n.section .bss\n.word 5")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".section .data\n_start: nop")
+
+    def test_align_pads(self):
+        binary = assemble(
+            ".section .text\n_start: halt\n"
+            ".section .data\n.byte 1\n.align 8\nhere: .word 2"
+        )
+        assert binary.symbols["here"].offset == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".section .text\n_start: nop\n_start: halt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble(".section .text\n_start: add r1, r2")
+
+    def test_wrong_operand_kind(self):
+        with pytest.raises(AsmError):
+            assemble(".section .text\n_start: li 5, r1")
+
+    def test_undefined_symbol_caught_at_validate(self):
+        with pytest.raises(Exception):
+            assemble(".section .text\n_start: jmp nowhere")
+
+    def test_branch_relocation_round_trip_through_link(self):
+        binary = assemble(
+            ".section .text\n_start: jmp target\nnop\ntarget: halt"
+        )
+        image = link(binary)
+        (imm,) = struct.unpack_from("<I", image.segment(".text").data, 4)
+        assert imm == image.address_of("target")
+        assert image.address_of("target") == image.entry + 2 * INSTRUCTION_SIZE
+
+    def test_metadata_attached(self):
+        binary = assemble(HELLO, metadata={"program": "hello"})
+        assert binary.metadata["program"] == "hello"

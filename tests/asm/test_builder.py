@@ -1,0 +1,97 @@
+"""AsmBuilder DSL tests."""
+
+import pytest
+
+from repro.asm import AsmBuilder
+from repro.kernel import Kernel
+
+
+class TestBuilder:
+    def test_generates_parsable_source(self):
+        builder = AsmBuilder("demo")
+        builder.section(".text")
+        builder.label("_start")
+        builder.li("r1", 5)
+        builder.halt()
+        source = builder.source()
+        assert "li r1, 5" in source
+        assert "_start:" in source
+
+    def test_assemble_and_run(self):
+        builder = AsmBuilder("demo")
+        builder.section(".text")
+        builder.label("_start")
+        builder.li("r1", 7)
+        builder.halt()
+        vm_result = Kernel().run(builder.assemble())
+        assert vm_result.exit_status == 7
+
+    def test_mem_operand_helper(self):
+        builder = AsmBuilder()
+        assert builder.mem("sp", 4) == "[sp+4]"
+        assert builder.mem("r1", -8) == "[r1-8]"
+        assert builder.mem("r2") == "[r2+0]"
+        assert builder.mem("r2", "table") == "[r2+table]"
+
+    def test_keyword_mnemonics(self):
+        builder = AsmBuilder()
+        builder.section(".text")
+        builder.label("_start")
+        builder.li("r1", 0b1100)
+        builder.li("r2", 0b1010)
+        builder.and_("r3", "r1", "r2")
+        builder.or_("r4", "r1", "r2")
+        builder.halt()
+        binary = builder.assemble()
+        assert binary.sections[".text"].size == 5 * 8
+
+    def test_fresh_labels_distinct(self):
+        builder = AsmBuilder()
+        assert builder.fresh_label() != builder.fresh_label()
+
+    def test_unknown_mnemonic_attribute_error(self):
+        with pytest.raises(AttributeError):
+            AsmBuilder().frobnicate("r1")
+
+    def test_data_helpers(self):
+        builder = AsmBuilder()
+        builder.section(".text")
+        builder.label("_start")
+        builder.li("r9", "msg")
+        builder.ldb("r1", builder.mem("r9"))
+        builder.halt()
+        builder.section(".rodata")
+        builder.label("msg")
+        builder.asciz("A")
+        builder.word(1, 2)
+        builder.byte(3, 4)
+        builder.align(8)
+        builder.space(4)
+        result = Kernel().run(builder.assemble())
+        assert result.exit_status == ord("A")
+
+    def test_asciz_escapes(self):
+        builder = AsmBuilder()
+        builder.section(".text")
+        builder.label("_start")
+        builder.halt()
+        builder.section(".rodata")
+        builder.label("s")
+        builder.asciz('with "quotes"\nand\tnewline')
+        binary = builder.assemble()
+        data = bytes(binary.sections[".rodata"].data)
+        assert b'with "quotes"\nand\tnewline\x00' == data
+
+    def test_metadata_defaults_to_name(self):
+        builder = AsmBuilder("named")
+        builder.section(".text")
+        builder.label("_start")
+        builder.halt()
+        assert builder.assemble().metadata["program"] == "named"
+
+    def test_bool_operand_rejected(self):
+        builder = AsmBuilder()
+        builder.section(".text")
+        builder.label("_start")
+        with pytest.raises(TypeError):
+            builder.li("r1", True)

@@ -1,0 +1,130 @@
+"""SEF container: sections, symbols, relocations, serialization."""
+
+import pytest
+
+from repro.binfmt import (
+    BinaryFormatError,
+    Relocation,
+    SEC_EXEC,
+    SEC_READ,
+    Section,
+    SefBinary,
+)
+from repro.binfmt.symbols import BIND_GLOBAL
+
+
+def _minimal_binary() -> SefBinary:
+    binary = SefBinary()
+    text = binary.get_or_create_section(".text")
+    text.append(bytes(16))
+    binary.define_symbol("_start", ".text", 0, BIND_GLOBAL)
+    return binary
+
+
+class TestSection:
+    def test_named_flags(self):
+        assert Section.named(".text").executable
+        assert not Section.named(".rodata").writable
+        assert Section.named(".data").writable
+
+    def test_named_unknown_requires_flags(self):
+        with pytest.raises(ValueError):
+            Section.named(".mystery")
+
+    def test_append_returns_offset(self):
+        section = Section.named(".data")
+        assert section.append(b"abc") == 0
+        assert section.append(b"d") == 3
+        assert section.size == 4
+
+    def test_nobits_rejects_data(self):
+        with pytest.raises(ValueError):
+            Section(".bss", SEC_READ, data=bytearray(b"x"), nobits=True)
+
+    def test_nobits_reserve(self):
+        section = Section(".bss", SEC_READ, nobits=True)
+        assert section.reserve_bytes(32) == 0
+        assert section.reserve_bytes(8) == 32
+        assert section.size == 40
+
+    def test_nobits_append_rejected(self):
+        section = Section(".bss", SEC_READ, nobits=True)
+        with pytest.raises(ValueError):
+            section.append(b"x")
+
+
+class TestSefBinary:
+    def test_duplicate_section_rejected(self):
+        binary = _minimal_binary()
+        with pytest.raises(BinaryFormatError):
+            binary.add_section(Section.named(".text"))
+
+    def test_duplicate_symbol_rejected(self):
+        binary = _minimal_binary()
+        with pytest.raises(BinaryFormatError):
+            binary.define_symbol("_start", ".text", 8)
+
+    def test_symbol_in_unknown_section_rejected(self):
+        binary = _minimal_binary()
+        with pytest.raises(BinaryFormatError):
+            binary.define_symbol("x", ".nope", 0)
+
+    def test_validate_missing_entry(self):
+        binary = SefBinary()
+        binary.get_or_create_section(".text").append(bytes(8))
+        with pytest.raises(BinaryFormatError):
+            binary.validate()
+
+    def test_validate_symbol_outside_section(self):
+        binary = _minimal_binary()
+        binary.define_symbol("end", ".text", 999)
+        with pytest.raises(BinaryFormatError):
+            binary.validate()
+
+    def test_validate_reloc_undefined_symbol(self):
+        binary = _minimal_binary()
+        binary.add_relocation(Relocation(".text", 4, "ghost"))
+        with pytest.raises(BinaryFormatError):
+            binary.validate()
+
+    def test_validate_reloc_out_of_bounds(self):
+        binary = _minimal_binary()
+        binary.add_relocation(Relocation(".text", 14, "_start"))
+        with pytest.raises(BinaryFormatError):
+            binary.validate()
+
+    def test_relocations_for(self):
+        binary = _minimal_binary()
+        binary.add_relocation(Relocation(".text", 4, "_start"))
+        assert set(binary.relocations_for(".text")) == {4}
+        assert binary.relocations_for(".data") == {}
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        binary = _minimal_binary()
+        data_section = binary.get_or_create_section(".data")
+        data_section.append(b"hello world\x00")
+        binary.define_symbol("msg", ".data", 0)
+        binary.add_relocation(Relocation(".text", 4, "msg", addend=2))
+        binary.get_or_create_section(".bss", nobits=True).reserve_bytes(64)
+        binary.metadata["program"] = "demo"
+        binary.metadata["personality"] = "linux"
+
+        restored = SefBinary.from_bytes(binary.to_bytes())
+        assert restored.entry == "_start"
+        assert restored.metadata == binary.metadata
+        assert restored.sections[".data"].data == b"hello world\x00"
+        assert restored.sections[".bss"].reserve == 64
+        assert restored.symbols["msg"].section == ".data"
+        assert restored.relocations[0].addend == 2
+        assert restored.symbols["_start"].binding == BIND_GLOBAL
+
+    def test_bad_magic(self):
+        with pytest.raises(BinaryFormatError):
+            SefBinary.from_bytes(b"ELF!" + bytes(32))
+
+    def test_round_trip_is_stable(self):
+        binary = _minimal_binary()
+        first = binary.to_bytes()
+        assert SefBinary.from_bytes(first).to_bytes() == first

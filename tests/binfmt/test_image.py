@@ -1,0 +1,83 @@
+"""Linker tests: layout, relocation patching, symbol addresses."""
+
+import struct
+
+import pytest
+
+from repro.binfmt import Relocation, SefBinary, link
+from repro.binfmt.image import DEFAULT_BASE, PAGE_SIZE, assign_addresses
+
+
+def _binary_with_reloc() -> SefBinary:
+    binary = SefBinary()
+    text = binary.get_or_create_section(".text")
+    text.append(bytes(8))  # one placeholder instruction
+    data = binary.get_or_create_section(".data")
+    data.append(b"/etc/motd\x00")
+    binary.define_symbol("_start", ".text", 0)
+    binary.define_symbol("path", ".data", 0)
+    binary.add_relocation(Relocation(".text", 4, "path", addend=0))
+    return binary
+
+
+class TestLayout:
+    def test_sections_page_aligned(self):
+        addresses = assign_addresses(_binary_with_reloc())
+        assert addresses[".text"] == DEFAULT_BASE
+        assert addresses[".data"] % PAGE_SIZE == 0
+        assert addresses[".data"] > addresses[".text"]
+
+    def test_custom_base(self):
+        addresses = assign_addresses(_binary_with_reloc(), base=0x40000000)
+        assert addresses[".text"] == 0x40000000
+
+    def test_canonical_section_order(self):
+        binary = _binary_with_reloc()
+        binary.get_or_create_section(".rodata").append(b"x")
+        binary.get_or_create_section(".bss", nobits=True).reserve_bytes(4)
+        addresses = assign_addresses(binary)
+        assert (
+            addresses[".text"]
+            < addresses[".rodata"]
+            < addresses[".data"]
+            < addresses[".bss"]
+        )
+
+
+class TestLink:
+    def test_entry_and_symbols(self):
+        image = link(_binary_with_reloc())
+        assert image.entry == DEFAULT_BASE
+        assert image.address_of("path") == image.segment(".data").vaddr
+
+    def test_relocation_patched(self):
+        image = link(_binary_with_reloc())
+        text = image.segment(".text").data
+        (patched,) = struct.unpack_from("<I", text, 4)
+        assert patched == image.address_of("path")
+
+    def test_relocation_with_addend(self):
+        binary = _binary_with_reloc()
+        binary.add_relocation(Relocation(".data", 0, "path", addend=5))
+        image = link(binary)
+        (patched,) = struct.unpack_from("<I", image.segment(".data").data, 0)
+        assert patched == image.address_of("path") + 5
+
+    def test_end_covers_nobits(self):
+        binary = _binary_with_reloc()
+        binary.get_or_create_section(".bss", nobits=True).reserve_bytes(128)
+        image = link(binary)
+        bss = image.segment(".bss")
+        assert len(bss.data) == 0
+        assert bss.size == 128
+        assert image.end == bss.vaddr + 128
+
+    def test_missing_symbol_lookup(self):
+        image = link(_binary_with_reloc())
+        with pytest.raises(KeyError):
+            image.address_of("ghost")
+
+    def test_metadata_carried(self):
+        binary = _binary_with_reloc()
+        binary.metadata["program"] = "demo"
+        assert link(binary).metadata["program"] == "demo"

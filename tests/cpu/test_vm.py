@@ -1,0 +1,348 @@
+"""VM execution semantics: ALU, control flow, stack, traps, cycles."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.cpu import ExecutionFault, Memory, PROT_EXEC, PROT_READ, PROT_WRITE, VM
+from repro.cpu.vm import ProcessExit
+from repro.isa.opcodes import Op
+from repro.isa.registers import SP
+
+
+def _vm_for(source: str, trap_handler=None, nx=False) -> VM:
+    image = link(assemble(source))
+    memory = Memory()
+    for segment in image.segments:
+        prot = PROT_READ
+        if segment.flags & 0x2:
+            prot |= PROT_WRITE
+        if segment.flags & 0x4:
+            prot |= PROT_EXEC
+        memory.map_region(
+            segment.vaddr, max(segment.size, 16), prot,
+            name=segment.name, data=segment.data,
+        )
+    return VM(memory=memory, entry=image.entry, trap_handler=trap_handler, nx=nx)
+
+
+def _run(source: str, **kwargs) -> VM:
+    vm = _vm_for(source, **kwargs)
+    vm.run()
+    return vm
+
+
+class TestAlu:
+    def test_arithmetic(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 10
+    li r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    div r6, r1, r2
+    mod r9, r1, r2
+    halt
+""")
+        assert vm.regs[3] == 13
+        assert vm.regs[4] == 7
+        assert vm.regs[5] == 30
+        assert vm.regs[6] == 3
+        assert vm.regs[9] == 1
+
+    def test_wraparound(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0xFFFFFFFF
+    addi r1, r1, 2
+    halt
+""")
+        assert vm.regs[1] == 1
+
+    def test_divide_by_zero_faults(self):
+        with pytest.raises(ExecutionFault, match="division by zero"):
+            _run("""
+.section .text
+_start:
+    li r1, 1
+    li r2, 0
+    div r3, r1, r2
+    halt
+""")
+
+    def test_shifts_and_logic(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0b1100
+    shli r2, r1, 2
+    shri r3, r1, 2
+    andi r4, r1, 0b1010
+    ori r5, r1, 0b0011
+    xori r6, r1, 0b1111
+    halt
+""")
+        assert vm.regs[2] == 0b110000
+        assert vm.regs[3] == 0b11
+        assert vm.regs[4] == 0b1000
+        assert vm.regs[5] == 0b1111
+        assert vm.regs[6] == 0b0011
+
+
+class TestControlFlow:
+    def test_signed_comparison(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, -5
+    cmpi r1, 3
+    blt was_less
+    li r2, 0
+    halt
+was_less:
+    li r2, 1
+    halt
+""")
+        assert vm.regs[2] == 1
+
+    def test_loop_counts(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0
+loop:
+    addi r1, r1, 1
+    cmpi r1, 10
+    blt loop
+    halt
+""")
+        assert vm.regs[1] == 10
+
+    def test_call_ret(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 5
+    call double
+    halt
+double:
+    add r1, r1, r1
+    ret
+""")
+        assert vm.regs[1] == 10
+
+    def test_indirect_jump(self):
+        vm = _run("""
+.section .text
+_start:
+    li r9, target
+    jr r9
+    li r1, 111
+    halt
+target:
+    li r1, 222
+    halt
+""")
+        assert vm.regs[1] == 222
+
+    def test_halt_status_from_r1(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 7
+    halt
+""")
+        assert vm.exit_status == 7
+
+
+class TestStack:
+    def test_push_pop(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 42
+    push r1
+    li r1, 0
+    pop r2
+    halt
+""")
+        assert vm.regs[2] == 42
+
+    def test_stack_grows_down(self):
+        vm = _vm_for(".section .text\n_start: halt")
+        top = vm.regs[SP]
+        vm.push(1)
+        assert vm.regs[SP] == top - 4
+
+    def test_stack_overflow_faults(self):
+        with pytest.raises(ExecutionFault, match="stack"):
+            _run("""
+.section .text
+_start:
+loop:
+    push r1
+    jmp loop
+""")
+
+
+class TestMemoryAccess:
+    def test_load_store(self):
+        vm = _run("""
+.section .text
+_start:
+    li r9, slot
+    li r1, 0xABCD
+    st r1, [r9+0]
+    ld r2, [r9+0]
+    ldb r3, [r9+0]
+    halt
+.section .data
+slot:
+    .word 0
+""")
+        assert vm.regs[2] == 0xABCD
+        assert vm.regs[3] == 0xCD
+
+    def test_unmapped_access_faults(self):
+        with pytest.raises(ExecutionFault):
+            _run("""
+.section .text
+_start:
+    li r9, 0x99999000
+    ld r1, [r9+0]
+    halt
+""")
+
+    def test_store_to_rodata_faults(self):
+        with pytest.raises(ExecutionFault):
+            _run("""
+.section .text
+_start:
+    li r9, konst
+    li r1, 1
+    st r1, [r9+0]
+    halt
+.section .rodata
+konst:
+    .word 5
+""")
+
+
+class TestTraps:
+    def test_trap_without_kernel_faults(self):
+        with pytest.raises(ExecutionFault, match="no kernel"):
+            _run(".section .text\n_start: sys\nhalt")
+
+    def test_trap_handler_invoked(self):
+        calls = []
+
+        class Recorder:
+            def handle_trap(self, vm, authenticated):
+                calls.append((vm.regs[0], authenticated))
+                vm.regs[0] = 99
+                return 1234
+
+        vm = _run(
+            ".section .text\n_start: li r0, 5\nsys\nmov r5, r0\nhalt",
+            trap_handler=Recorder(),
+        )
+        assert calls == [(5, False)]
+        assert vm.regs[5] == 99
+
+    def test_asys_flag(self):
+        flags = []
+
+        class Recorder:
+            def handle_trap(self, vm, authenticated):
+                flags.append(authenticated)
+                return 0
+
+        _run(
+            ".section .text\n_start: sys\nasys\nhalt",
+            trap_handler=Recorder(),
+        )
+        assert flags == [False, True]
+
+    def test_process_exit_from_trap(self):
+        class Exiter:
+            def handle_trap(self, vm, authenticated):
+                raise ProcessExit(3)
+
+        vm = _run(".section .text\n_start: sys\nhalt", trap_handler=Exiter())
+        assert vm.exit_status == 3
+        assert not vm.killed
+
+
+class TestCycles:
+    def test_rdtsc_matches_documented_costs(self):
+        # rdtsc(84) + li(1) + li(1) + add(1), read by the second rdtsc
+        vm = _run("""
+.section .text
+_start:
+    rdtsc r1
+    li r2, 1
+    li r3, 2
+    add r4, r2, r3
+    rdtsc r5
+    halt
+""")
+        assert vm.regs[5] - vm.regs[1] == 84 + 1 + 1 + 1
+
+    def test_cpuwork_advances_cycles(self):
+        vm = _run("""
+.section .text
+_start:
+    rdtsc r1
+    cpuwork 100000
+    rdtsc r2
+    halt
+""")
+        assert vm.regs[2] - vm.regs[1] == 100000 + 84
+
+    def test_loop_body_cost_is_4(self):
+        # The Table 4 microbenchmark loop: addi + cmpi + bne = 4 cycles.
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0
+    rdtsc r2
+loop:
+    addi r1, r1, 1
+    cmpi r1, 100
+    bne loop
+    rdtsc r3
+    halt
+""")
+        assert (vm.regs[3] - vm.regs[2] - 84) == 4 * 100
+
+
+class TestNx:
+    SMC = """
+.section .text
+_start:
+    li r9, landing
+    li r1, 0x00000001   ; encoded HALT instruction low word
+    st r1, [r9+0]
+    li r1, 0
+    st r1, [r9+4]
+    jr r9
+.section .data
+landing:
+    .space 16
+"""
+
+    def test_writable_memory_executes_by_default(self):
+        vm = _run(self.SMC)
+        assert vm.exit_status is not None
+
+    def test_nx_blocks_data_execution(self):
+        with pytest.raises(ExecutionFault, match="NX"):
+            _run(self.SMC, nx=True)
+
+    def test_budget_exhaustion(self):
+        vm = _vm_for(".section .text\n_start: jmp _start")
+        with pytest.raises(ExecutionFault, match="budget"):
+            vm.run(max_instructions=100)

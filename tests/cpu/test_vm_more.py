@@ -1,0 +1,185 @@
+"""Additional VM semantics: indirect calls, flag edges, wide counters."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import ExecutionFault
+from tests.cpu.test_vm import _run, _vm_for
+
+
+class TestIndirectCalls:
+    def test_callr_pushes_return_address(self):
+        vm = _run("""
+.section .text
+_start:
+    li r9, double
+    li r1, 4
+    callr r9
+    addi r1, r1, 100
+    halt
+double:
+    add r1, r1, r1
+    ret
+""")
+        assert vm.regs[1] == 108
+
+    def test_function_pointer_table(self):
+        vm = _run("""
+.section .text
+_start:
+    li r9, table
+    ld r10, [r9+4]       ; table[1] = inc2
+    li r1, 0
+    callr r10
+    halt
+inc1:
+    addi r1, r1, 1
+    ret
+inc2:
+    addi r1, r1, 2
+    ret
+.section .data
+table:
+    .word inc1, inc2
+""")
+        assert vm.regs[1] == 2
+
+
+class TestFlagEdges:
+    @pytest.mark.parametrize("a,b,taken", [
+        (5, 5, True),   # BLE on equal
+        (4, 5, True),   # BLE on less
+        (6, 5, False),  # BLE on greater
+    ])
+    def test_ble(self, a, b, taken):
+        vm = _run(f"""
+.section .text
+_start:
+    li r1, {a}
+    cmpi r1, {b}
+    ble yes
+    li r2, 0
+    halt
+yes:
+    li r2, 1
+    halt
+""")
+        assert vm.regs[2] == (1 if taken else 0)
+
+    def test_bgt_unsigned_vs_signed(self):
+        # 0xFFFFFFFF is -1 signed: NOT greater than 0.
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0xFFFFFFFF
+    cmpi r1, 0
+    bgt yes
+    li r2, 0
+    halt
+yes:
+    li r2, 1
+    halt
+""")
+        assert vm.regs[2] == 0
+
+    def test_bge_on_equal(self):
+        vm = _run("""
+.section .text
+_start:
+    li r1, 9
+    cmpi r1, 9
+    bge yes
+    li r2, 0
+    halt
+yes:
+    li r2, 1
+    halt
+""")
+        assert vm.regs[2] == 1
+
+
+class TestCounters:
+    def test_rdtsch_high_word(self):
+        # CPUWORK immediates are 32-bit, so several are needed to push
+        # the 64-bit cycle counter past 2^32.
+        vm = _run("""
+.section .text
+_start:
+    cpuwork 0xC0000000
+    cpuwork 0xC0000000
+    cpuwork 0xC0000000
+    cpuwork 0xC0000000
+    rdtsch r1
+    rdtsc r2
+    halt
+""")
+        assert vm.regs[1] == 3  # 4 * 0xC0000000 = 0x3_0000_0000 + ε
+
+    def test_mod_negative_free_semantics(self):
+        # Values are unsigned; MOD of 10 % 3 = 1, 0xFFFFFFFF % 16 = 15.
+        vm = _run("""
+.section .text
+_start:
+    li r1, 0xFFFFFFFF
+    li r2, 16
+    mod r3, r1, r2
+    halt
+""")
+        assert vm.regs[3] == 15
+
+    def test_mod_by_zero_faults(self):
+        with pytest.raises(ExecutionFault):
+            _run("""
+.section .text
+_start:
+    li r1, 5
+    li r2, 0
+    mod r3, r1, r2
+    halt
+""")
+
+    def test_instruction_count_tracked(self):
+        vm = _run(".section .text\n_start:\n    nop\n    nop\n    halt")
+        assert vm.instructions_executed == 3
+
+    def test_syscall_count_tracked(self):
+        class Nop:
+            def handle_trap(self, vm, authenticated):
+                return 0
+
+        vm = _run(
+            ".section .text\n_start:\n    sys\n    sys\n    halt",
+            trap_handler=Nop(),
+        )
+        assert vm.syscall_count == 2
+
+
+class TestDecodeCache:
+    def test_store_invalidates_decoded_instruction(self):
+        # Self-modifying code in a *writable* region (.text itself is
+        # R-X): stage a code stub in .data, run it once, patch its
+        # immediate, run it again — the decode cache must not serve the
+        # stale instruction.
+        vm = _run("""
+.section .text
+_start:
+    li r9, stub
+    call land             ; decode+run the stub once (r1 = 1)
+    li r9, stub
+    li r10, 77
+    st r10, [r9+4]        ; patch the LI's immediate in place
+    call land             ; must observe the patched instruction
+    halt
+land:
+    jr r9
+.section .data
+stub:
+    .word 0x00000102, 1   ; encoded: li r1, 1
+    .word 0x0000005A, 0   ; encoded: ret
+""")
+        assert vm.regs[1] == 77
+
+    def test_pc_wraparound_protection(self):
+        vm = _vm_for(".section .text\n_start:\n    nop")
+        with pytest.raises(ExecutionFault):
+            vm.run(max_instructions=10)  # falls off the end of .text

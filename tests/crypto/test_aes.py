@@ -1,0 +1,85 @@
+"""AES-128 known-answer and property tests (FIPS-197 vectors)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, _INV_SBOX, _SBOX
+
+
+class TestSboxConstruction:
+    def test_sbox_fixed_points(self):
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+
+    def test_inverse_sbox_round_trips(self):
+        for value in range(256):
+            assert _INV_SBOX[_SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+
+class TestKnownAnswers:
+    def test_fips197_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_known_answer(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES(key).decrypt_block(ciphertext) == expected
+
+
+class TestValidation:
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_rejects_long_key(self):
+        with pytest.raises(ValueError):
+            AES(bytes(32))
+
+    def test_rejects_short_block(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(b"tiny")
+
+    def test_rejects_long_block_on_decrypt(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).decrypt_block(bytes(17))
+
+
+class TestProperties:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    )
+    def test_round_trip(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    )
+    def test_encryption_is_not_identity(self, key, block):
+        # With overwhelming probability AES(block) != block; a collision
+        # here would indicate a broken round function.
+        assert AES(key).encrypt_block(block) != block
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    def test_distinct_blocks_encrypt_distinctly(self, key):
+        cipher = AES(key)
+        a = cipher.encrypt_block(bytes(16))
+        b = cipher.encrypt_block(bytes(15) + b"\x01")
+        assert a != b

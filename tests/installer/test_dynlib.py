@@ -1,0 +1,91 @@
+"""Dynamic-library triage (§5.2)."""
+
+from repro.asm import assemble
+from repro.installer.dynlib import (
+    DynamicLibrary,
+    LibraryFunction,
+    process_library,
+)
+from repro.policy import MetaPolicy
+from repro.policy.metapolicy import MetaRule, Strictness
+from repro.workloads.runtime import runtime_source
+
+
+def _function(name: str, body: str, syscalls=("exit",), data: str = "") -> LibraryFunction:
+    source = (
+        ".section .text\n.global _start\n_start:\n"
+        + body
+        + ("\n" + data if data else "")
+        + "\n"
+        + runtime_source("linux", syscalls)
+    )
+    return LibraryFunction(name=name, binary=assemble(source, metadata={"program": name}))
+
+
+def _static_open():
+    return _function(
+        "open_motd",
+        "    li r1, p\n    li r2, 0\n    call sys_open\n    li r1, 0\n    call sys_exit",
+        ("open", "exit"),
+        '.section .rodata\np:\n  .asciz "/etc/motd"',
+    )
+
+
+def _dynamic_open():
+    return _function(
+        "open_arg",
+        "    li r9, c\n    ld r1, [r9+0]\n    li r2, 0\n    call sys_open\n"
+        "    li r1, 0\n    call sys_exit",
+        ("open", "exit"),
+        ".section .data\nc:\n  .word 0",
+    )
+
+
+def _undisassemblable_close():
+    return _function(
+        "weird_close",
+        "    li r9, n\n    ld r0, [r9+0]\n    sys\n    li r1, 0\n    call sys_exit",
+        ("exit",),
+        ".section .data\nn:\n  .word 6",
+    )
+
+
+class TestTriage:
+    def test_complete_function_protected(self):
+        library = DynamicLibrary("libc")
+        library.add(_static_open())
+        report = process_library(library)
+        assert report.protected == ["open_motd"]
+        assert not report.withdrawn
+
+    def test_incomplete_function_withdrawn(self):
+        library = DynamicLibrary("libc")
+        library.add(_dynamic_open())
+        report = process_library(library)
+        assert "open_arg" in report.withdrawn
+        assert "metapolicy unmet" in report.withdrawn["open_arg"]
+
+    def test_unidentifiable_syscall_withdrawn(self):
+        library = DynamicLibrary("libc")
+        library.add(_undisassemblable_close())
+        report = process_library(library)
+        assert "weird_close" in report.withdrawn
+        assert "unidentifiable" in report.withdrawn["weird_close"]
+
+    def test_mixed_library(self):
+        library = DynamicLibrary("libc")
+        library.add(_static_open())
+        library.add(_dynamic_open())
+        library.add(_undisassemblable_close())
+        report = process_library(library)
+        assert report.protected == ["open_motd"]
+        assert set(report.withdrawn) == {"open_arg", "weird_close"}
+        assert abs(report.protected_fraction - 1 / 3) < 1e-9
+
+    def test_lenient_metapolicy_keeps_dynamic_open(self):
+        # With only call-site strictness, the dynamic open is fine.
+        library = DynamicLibrary("libc")
+        library.add(_dynamic_open())
+        lenient = MetaPolicy(rules={"open": MetaRule("open", Strictness.CALL_SITE)})
+        report = process_library(library, lenient)
+        assert report.protected == ["open_arg"]

@@ -1,0 +1,35 @@
+"""Shared helpers: run guest assembly snippets against a kernel."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.kernel import Kernel
+from repro.workloads.runtime import runtime_source
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def run_guest(
+    kernel,
+    body: str,
+    syscalls=(),
+    data: str = "",
+    stdin: bytes = b"",
+    argv=None,
+):
+    """Assemble `_start: <body>` plus the runtime and run it.
+
+    The body is expected to end the process itself (call sys_exit or
+    halt)."""
+    source = (
+        ".section .text\n.global _start\n_start:\n"
+        + body
+        + "\n"
+        + (data + "\n" if data else "")
+        + runtime_source("linux", tuple(syscalls) + ("exit",))
+    )
+    binary = assemble(source, metadata={"program": "guest"})
+    return kernel.run(binary, stdin=stdin, argv=argv)

@@ -1,0 +1,47 @@
+"""Audit log: the administrator-visible record of §3.4's alerts."""
+
+from repro.kernel.audit import AuditEvent, AuditLog
+
+
+def _event(kind="killed", syscall="open", reason="tampered"):
+    return AuditEvent(
+        kind=kind, pid=7, program="victim", syscall=syscall,
+        reason=reason, call_site=0x8048020,
+    )
+
+
+class TestAuditLog:
+    def test_record_and_count(self):
+        log = AuditLog()
+        log.record(_event())
+        log.record(_event(kind="info", reason="started"))
+        assert len(log) == 2
+
+    def test_kills_filter(self):
+        log = AuditLog()
+        log.record(_event(kind="killed"))
+        log.record(_event(kind="blocked"))
+        log.record(_event(kind="info"))
+        assert len(log.kills()) == 1
+        assert len(log.alerts()) == 2
+
+    def test_clear(self):
+        log = AuditLog()
+        log.record(_event())
+        log.clear()
+        assert len(log) == 0
+
+    def test_render_contains_essentials(self):
+        text = _event().render()
+        assert "pid=7" in text
+        assert "victim" in text
+        assert "syscall=open" in text
+        assert "0x08048020" in text
+        assert "tampered" in text
+
+    def test_render_without_site(self):
+        event = AuditEvent(
+            kind="alert", pid=1, program="p", syscall=None, reason="r"
+        )
+        assert "site=" not in event.render()
+        assert "syscall=" not in event.render()

@@ -1,0 +1,129 @@
+"""§5.3 capability tracking enforced at runtime, end to end."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.crypto import Key
+from repro.installer import InstallError, InstallerOptions, install
+from repro.kernel import Kernel
+from repro.workloads.runtime import runtime_source
+
+KEY = Key.from_passphrase("cap-tests", provider="fast-hmac")
+
+#: Opens two files; reads from the first fd.  With capability tracking,
+#: the read's fd must descend from the *first* open site.
+PROGRAM = """
+.section .text
+.global _start
+_start:
+    li r1, patha
+    li r2, 0
+    call sys_open
+    mov r13, r0          ; fd A  (the permitted producer for the read)
+    li r1, pathb
+    li r2, 0
+    call sys_open
+    mov r14, r0          ; fd B
+    mov r1, r13
+    li r2, buf
+    li r3, 16
+    call sys_read
+    li r1, 0
+    call sys_exit
+.section .rodata
+patha:
+    .asciz "/etc/a"
+pathb:
+    .asciz "/etc/b"
+.section .bss
+buf:
+    .space 16
+""" + runtime_source("linux", ("open", "read", "exit"))
+
+
+def _kernel():
+    kernel = Kernel(key=KEY, capability_tracking=True)
+    kernel.vfs.write_file("/etc/a", b"AAAA")
+    kernel.vfs.write_file("/etc/b", b"BBBB")
+    return kernel
+
+
+@pytest.fixture(scope="module")
+def installed():
+    return install(
+        assemble(PROGRAM, metadata={"program": "capdemo"}), KEY,
+        InstallerOptions(capability_tracking=True),
+    )
+
+
+class TestCapabilityRuntime:
+    def test_policy_names_the_producer(self, installed):
+        read_policy = installed.policy.sites[installed.site_for_syscall("read")]
+        open_policy = installed.policy.sites[installed.site_for_syscall("open")]
+        assert read_policy.fd_producers[0] == frozenset({open_policy.block_id})
+
+    def test_legitimate_run_passes(self, installed):
+        result = _kernel().run(installed.binary)
+        assert result.ok, result.kill_reason
+
+    def test_confused_fd_fail_stops(self, installed):
+        """An attacker redirects the read to fd B (produced by the
+        *other* open site): the capability check catches it even though
+        B is a perfectly valid descriptor."""
+        kernel = _kernel()
+        process, vm = kernel.load(installed.binary)
+        read_site = installed.site_for_syscall("read")
+        original = kernel.handle_trap
+
+        class Confuser:
+            def handle_trap(self, inner_vm, authenticated):
+                if inner_vm.pc == read_site:
+                    inner_vm.regs[1] = inner_vm.regs[14]  # swap in fd B
+                return original(inner_vm, authenticated)
+
+        vm.trap_handler = Confuser()
+        vm.run()
+        assert vm.killed
+        assert "capability violation" in vm.kill_reason
+
+    def test_closed_fd_fail_stops(self, installed):
+        """Reusing the fd after a (forced) close is caught: capability
+        sets track *live* descriptors, the §5.3 subtlety."""
+        kernel = _kernel()
+        process, vm = kernel.load(installed.binary)
+        read_site = installed.site_for_syscall("read")
+
+        class Revoker:
+            def handle_trap(self, inner_vm, authenticated):
+                if inner_vm.pc == read_site:
+                    kernel.capability_table(inner_vm).revoke(inner_vm.regs[13])
+                return kernel.handle_trap(inner_vm, authenticated)
+
+        vm.trap_handler = Revoker()
+        vm.run()
+        assert vm.killed
+
+    def test_tracking_disabled_kernel_allows_confusion(self, installed):
+        """Ablation: without the extension the confused fd sails
+        through — exactly the gap §5.3 exists to close."""
+        kernel = Kernel(key=KEY, capability_tracking=False)
+        kernel.vfs.write_file("/etc/a", b"A")
+        kernel.vfs.write_file("/etc/b", b"B")
+        process, vm = kernel.load(installed.binary)
+        read_site = installed.site_for_syscall("read")
+
+        class Confuser:
+            def handle_trap(self, inner_vm, authenticated):
+                if inner_vm.pc == read_site:
+                    inner_vm.regs[1] = inner_vm.regs[14]
+                return kernel.handle_trap(inner_vm, authenticated)
+
+        vm.trap_handler = Confuser()
+        vm.run()
+        assert not vm.killed
+
+
+class TestInstallGuards:
+    def test_double_install_rejected(self, installed):
+        with pytest.raises(InstallError, match="already installed"):
+            install(installed.binary, KEY)

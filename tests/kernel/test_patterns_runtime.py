@@ -1,0 +1,115 @@
+"""§5.1 pattern policies enforced end-to-end, hints supplied by the guest.
+
+The guest program passes its proof hint in ``r8`` (a pointer to
+``[count, v0, v1, ...]`` words).  The kernel verifies the pattern match
+with one linear scan; a wrong or missing hint is a fail-stop.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.crypto import Key
+from repro.installer import InstallerOptions, install
+from repro.kernel import Kernel
+from repro.workloads.runtime import runtime_source
+
+KEY = Key.from_passphrase("pattern-tests", provider="fast-hmac")
+
+#: Opens a dynamically-computed path (so analysis cannot constrain it);
+#: the administrator's metapolicy fill imposes the pattern
+#: "/tmp/{foo,bar}*baz".  The guest proves "/tmp/foofoobaz" with the
+#: paper's worked hint (0, 3).
+PROGRAM_TEMPLATE = """
+.section .text
+.global _start
+_start:
+    li r9, cell
+    ld r1, [r9+0]        ; dynamic path argument
+    li r2, 0
+    li r8, {hint_label}  ; proof hint block
+    call sys_open
+    li r1, 0
+    call sys_exit
+.section .data
+cell:
+    .word pathstr
+pathstr:
+    .asciz "{path}"
+good_hint:
+    .word 2, 0, 3        ; count=2: branch 0 ("foo"), star consumes 3
+bad_hint:
+    .word 2, 1, 3        ; wrong branch
+empty_hint:
+    .word 0
+""" + runtime_source("linux", ("open", "exit"))
+
+
+def _installed(path: str, hint_label: str):
+    source = PROGRAM_TEMPLATE.format(path=path, hint_label=hint_label)
+    binary = assemble(source, metadata={"program": "patterned"})
+    return install(
+        binary, KEY,
+        InstallerOptions(template_fills={("open", 0): "/tmp/{foo,bar}*baz"}),
+    )
+
+
+def _run(installed):
+    kernel = Kernel(key=KEY)
+    kernel.vfs.write_file("/tmp/foofoobaz", b"x")
+    kernel.vfs.write_file("/tmp/barbaz", b"y")
+    kernel.vfs.write_file("/etc/passwd", b"secret")
+    return kernel.run(installed.binary)
+
+
+class TestPatternRuntime:
+    def test_descriptor_carries_pattern_bit(self):
+        installed = _installed("/tmp/foofoobaz", "good_hint")
+        policy = installed.policy.sites[installed.site_for_syscall("open")]
+        assert policy.descriptor().param_is_pattern(0)
+
+    def test_matching_argument_with_correct_hint(self):
+        result = _run(_installed("/tmp/foofoobaz", "good_hint"))
+        assert result.ok, result.kill_reason
+
+    def test_wrong_hint_fail_stops(self):
+        result = _run(_installed("/tmp/foofoobaz", "bad_hint"))
+        assert result.killed
+        assert "pattern" in result.kill_reason
+
+    def test_missing_hint_fail_stops(self):
+        result = _run(_installed("/tmp/foofoobaz", "empty_hint"))
+        assert result.killed
+
+    def test_non_matching_argument_fail_stops(self):
+        # /etc/passwd cannot match /tmp/{foo,bar}*baz with any hint.
+        result = _run(_installed("/etc/passwd", "good_hint"))
+        assert result.killed
+        assert "pattern" in result.kill_reason
+
+    def test_bar_branch_matches_with_its_own_hint(self):
+        source = PROGRAM_TEMPLATE.format(path="/tmp/barbaz", hint_label="bar_hint")
+        source = source.replace(
+            "good_hint:", "bar_hint:\n    .word 2, 1, 0\ngood_hint:"
+        )
+        binary = assemble(source, metadata={"program": "patterned"})
+        installed = install(
+            binary, KEY,
+            InstallerOptions(template_fills={("open", 0): "/tmp/{foo,bar}*baz"}),
+        )
+        result = _run(installed)
+        assert result.ok, result.kill_reason
+
+    def test_tampered_pattern_string_fail_stops(self):
+        installed = _installed("/tmp/foofoobaz", "good_hint")
+        kernel = Kernel(key=KEY)
+        kernel.vfs.write_file("/tmp/foofoobaz", b"x")
+        process, vm = kernel.load(installed.binary)
+        # Overwrite the pattern AS contents (widen it to match anything).
+        authstr = vm.memory.find_region(".authstr")
+        blob = bytes(authstr.data)
+        index = blob.find(b"/tmp/{foo,bar}*baz")
+        assert index > 0
+        vm.memory.write(authstr.start + index, b"*" + bytes(17), force=True)
+        vm.run()
+        assert vm.killed
+        assert "integrity" in vm.kill_reason or "MAC" in vm.kill_reason

@@ -1,0 +1,84 @@
+"""Process model: fd table, std streams, counters."""
+
+import pytest
+
+from repro.kernel.errors import Errno
+from repro.kernel.process import (
+    MAX_FDS,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    FileDescription,
+    Process,
+)
+from repro.kernel.vfs import Inode, VfsError
+
+
+def _process() -> Process:
+    return Process(pid=1, name="p")
+
+
+class TestStandardStreams:
+    def test_std_fds_preinstalled(self):
+        process = _process()
+        assert set(process.fds) == {0, 1, 2}
+        assert process.fd(0).readable
+        assert process.fd(1).writable
+        assert not process.fd(0).writable
+
+    def test_custom_fds_not_overwritten(self):
+        custom = {5: FileDescription(None, O_RDONLY, kind="console")}
+        process = Process(pid=1, name="p", fds=custom)
+        assert 0 not in process.fds
+        assert 5 in process.fds
+
+
+class TestFdTable:
+    def test_allocate_lowest_free(self):
+        process = _process()
+        description = FileDescription(Inode(kind="file", mode=0o644), O_RDONLY)
+        assert process.allocate_fd(description) == 3
+        assert process.allocate_fd(description) == 4
+
+    def test_allocate_reuses_closed(self):
+        process = _process()
+        description = FileDescription(Inode(kind="file", mode=0o644), O_RDONLY)
+        fd = process.allocate_fd(description)
+        process.close_fd(fd)
+        assert process.allocate_fd(description) == fd
+
+    def test_close_unknown_raises(self):
+        with pytest.raises(VfsError) as err:
+            _process().close_fd(33)
+        assert err.value.errno == Errno.EBADF
+
+    def test_fd_lookup_unknown_raises(self):
+        with pytest.raises(VfsError):
+            _process().fd(99)
+
+    def test_exhaustion(self):
+        process = _process()
+        description = FileDescription(None, O_RDONLY, kind="console")
+        for _ in range(MAX_FDS - 3):
+            process.allocate_fd(description)
+        with pytest.raises(VfsError) as err:
+            process.allocate_fd(description)
+        assert err.value.errno == Errno.EMFILE
+
+
+class TestAccessModes:
+    def test_rdwr_is_both(self):
+        description = FileDescription(None, O_RDWR)
+        assert description.readable and description.writable
+
+    def test_wronly(self):
+        description = FileDescription(None, O_WRONLY)
+        assert description.writable and not description.readable
+
+
+class TestAuthCounter:
+    def test_counter_starts_at_zero(self):
+        assert _process().auth_counter == 0
+
+    def test_unauthenticated_by_default(self):
+        assert not _process().authenticated

@@ -1,0 +1,225 @@
+"""VFS: paths, directories, symlinks, permissions, normalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.errors import Errno
+from repro.kernel.vfs import Vfs, VfsError
+
+
+@pytest.fixture
+def vfs():
+    return Vfs()
+
+
+class TestBasics:
+    def test_standard_directories_exist(self, vfs):
+        for path in ("/bin", "/tmp", "/etc", "/dev", "/home", "/usr"):
+            assert vfs.lookup(path).is_dir
+
+    def test_write_read_round_trip(self, vfs):
+        vfs.write_file("/tmp/a", b"hello")
+        assert vfs.read_file("/tmp/a") == b"hello"
+
+    def test_create_exclusive(self, vfs):
+        vfs.create_file("/tmp/a", exclusive=True)
+        with pytest.raises(VfsError) as err:
+            vfs.create_file("/tmp/a", exclusive=True)
+        assert err.value.errno == Errno.EEXIST
+
+    def test_create_over_directory_rejected(self, vfs):
+        with pytest.raises(VfsError) as err:
+            vfs.create_file("/tmp")
+        assert err.value.errno == Errno.EISDIR
+
+    def test_missing_file(self, vfs):
+        with pytest.raises(VfsError) as err:
+            vfs.read_file("/tmp/ghost")
+        assert err.value.errno == Errno.ENOENT
+
+    def test_missing_intermediate_dir(self, vfs):
+        with pytest.raises(VfsError) as err:
+            vfs.write_file("/tmp/no/such/file", b"x")
+        assert err.value.errno == Errno.ENOENT
+
+    def test_file_as_directory(self, vfs):
+        vfs.write_file("/tmp/a", b"x")
+        with pytest.raises(VfsError) as err:
+            vfs.lookup("/tmp/a/b")
+        assert err.value.errno == Errno.ENOTDIR
+
+
+class TestRelativePaths:
+    def test_cwd_resolution(self, vfs):
+        vfs.write_file("/tmp/a", b"x")
+        assert vfs.read_file("a", cwd="/tmp") == b"x"
+
+    def test_dot_and_dotdot(self, vfs):
+        vfs.write_file("/tmp/a", b"x")
+        assert vfs.read_file("./a", cwd="/tmp") == b"x"
+        assert vfs.read_file("../tmp/a", cwd="/etc") == b"x"
+
+    def test_dotdot_at_root(self, vfs):
+        assert vfs.lookup("/..") is vfs.root
+        assert vfs.lookup("..", cwd="/") is vfs.root
+
+
+class TestDirectories:
+    def test_mkdir_rmdir(self, vfs):
+        vfs.mkdir("/tmp/d")
+        assert vfs.lookup("/tmp/d").is_dir
+        vfs.rmdir("/tmp/d")
+        assert not vfs.exists("/tmp/d")
+
+    def test_rmdir_nonempty(self, vfs):
+        vfs.mkdir("/tmp/d")
+        vfs.write_file("/tmp/d/f", b"x")
+        with pytest.raises(VfsError) as err:
+            vfs.rmdir("/tmp/d")
+        assert err.value.errno == Errno.ENOTEMPTY
+
+    def test_rmdir_of_file(self, vfs):
+        vfs.write_file("/tmp/f", b"x")
+        with pytest.raises(VfsError) as err:
+            vfs.rmdir("/tmp/f")
+        assert err.value.errno == Errno.ENOTDIR
+
+    def test_mkdir_existing(self, vfs):
+        with pytest.raises(VfsError) as err:
+            vfs.mkdir("/tmp")
+        assert err.value.errno == Errno.EEXIST
+
+    def test_listdir_sorted(self, vfs):
+        vfs.write_file("/tmp/b", b"")
+        vfs.write_file("/tmp/a", b"")
+        assert vfs.listdir("/tmp") == ["a", "b"]
+
+
+class TestUnlinkRename:
+    def test_unlink(self, vfs):
+        vfs.write_file("/tmp/a", b"x")
+        vfs.unlink("/tmp/a")
+        assert not vfs.exists("/tmp/a")
+
+    def test_unlink_directory_rejected(self, vfs):
+        vfs.mkdir("/tmp/d")
+        with pytest.raises(VfsError) as err:
+            vfs.unlink("/tmp/d")
+        assert err.value.errno == Errno.EISDIR
+
+    def test_rename_moves_content(self, vfs):
+        vfs.write_file("/tmp/a", b"payload")
+        vfs.rename("/tmp/a", "/etc/b")
+        assert vfs.read_file("/etc/b") == b"payload"
+        assert not vfs.exists("/tmp/a")
+
+    def test_rename_overwrites_file(self, vfs):
+        vfs.write_file("/tmp/a", b"new")
+        vfs.write_file("/tmp/b", b"old")
+        vfs.rename("/tmp/a", "/tmp/b")
+        assert vfs.read_file("/tmp/b") == b"new"
+
+
+class TestSymlinks:
+    def test_follow(self, vfs):
+        vfs.write_file("/etc/target", b"data")
+        vfs.symlink("/etc/target", "/tmp/ln")
+        assert vfs.read_file("/tmp/ln") == b"data"
+
+    def test_nofollow(self, vfs):
+        vfs.symlink("/etc/target", "/tmp/ln")
+        node = vfs.lookup("/tmp/ln", follow=False)
+        assert node.is_symlink
+        assert vfs.readlink("/tmp/ln") == "/etc/target"
+
+    def test_relative_target(self, vfs):
+        vfs.write_file("/tmp/real", b"x")
+        vfs.symlink("real", "/tmp/ln")
+        assert vfs.read_file("/tmp/ln") == b"x"
+
+    def test_symlink_in_middle_of_path(self, vfs):
+        vfs.mkdir("/etc/deep")
+        vfs.write_file("/etc/deep/f", b"x")
+        vfs.symlink("/etc/deep", "/tmp/d")
+        assert vfs.read_file("/tmp/d/f") == b"x"
+
+    def test_loop_detected(self, vfs):
+        vfs.symlink("/tmp/b", "/tmp/a")
+        vfs.symlink("/tmp/a", "/tmp/b")
+        with pytest.raises(VfsError) as err:
+            vfs.read_file("/tmp/a")
+        assert err.value.errno == Errno.ELOOP
+
+    def test_readlink_of_file_rejected(self, vfs):
+        vfs.write_file("/tmp/a", b"")
+        with pytest.raises(VfsError) as err:
+            vfs.readlink("/tmp/a")
+        assert err.value.errno == Errno.EINVAL
+
+    def test_create_through_symlink(self, vfs):
+        vfs.write_file("/etc/real", b"old")
+        vfs.symlink("/etc/real", "/tmp/ln")
+        node = vfs.create_file("/tmp/ln")
+        assert node is vfs.lookup("/etc/real")
+
+
+class TestNormalize:
+    def test_plain_path(self, vfs):
+        vfs.write_file("/tmp/a", b"")
+        assert vfs.normalize("/tmp/a") == "/tmp/a"
+
+    def test_relative(self, vfs):
+        vfs.write_file("/tmp/a", b"")
+        assert vfs.normalize("a", cwd="/tmp") == "/tmp/a"
+
+    def test_symlink_resolved(self, vfs):
+        vfs.write_file("/etc/passwd", b"")
+        vfs.symlink("/etc/passwd", "/tmp/foo")
+        assert vfs.normalize("/tmp/foo") == "/etc/passwd"
+
+    def test_missing_final_component(self, vfs):
+        assert vfs.normalize("/tmp/newfile") == "/tmp/newfile"
+
+    def test_dotdot_folded(self, vfs):
+        vfs.write_file("/etc/a", b"")
+        assert vfs.normalize("/tmp/../etc/a") == "/etc/a"
+
+
+class TestChmod:
+    def test_chmod(self, vfs):
+        vfs.write_file("/tmp/a", b"")
+        vfs.chmod("/tmp/a", 0o600)
+        assert vfs.lookup("/tmp/a").mode == 0o600
+
+    def test_tmp_is_sticky(self, vfs):
+        assert vfs.lookup("/tmp").mode == 0o1777
+
+
+_NAME = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestProperties:
+    @given(name=_NAME, data=st.binary(max_size=64))
+    def test_write_read_identity(self, name, data):
+        vfs = Vfs()
+        vfs.write_file(f"/tmp/{name}", data)
+        assert vfs.read_file(f"/tmp/{name}") == data
+
+    @given(names=st.lists(_NAME, min_size=1, max_size=8, unique=True))
+    def test_listdir_matches_creations(self, names):
+        vfs = Vfs()
+        for name in names:
+            vfs.write_file(f"/home/{name}", b"")
+        assert vfs.listdir("/home") == sorted(names)
+
+    @given(name=_NAME)
+    def test_normalize_idempotent(self, name):
+        vfs = Vfs()
+        vfs.write_file(f"/tmp/{name}", b"")
+        once = vfs.normalize(f"/tmp/{name}")
+        assert vfs.normalize(once) == once

@@ -1,0 +1,147 @@
+"""stide sequence monitor."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.monitor import StideModel
+
+NORMAL = ["open", "read", "read", "write", "close", "exit"]
+
+
+class TestTraining:
+    def test_accepts_training_trace(self):
+        model = StideModel(window=3)
+        model.train(NORMAL)
+        assert model.accepts(NORMAL)
+
+    def test_rejects_unseen_sequence(self):
+        model = StideModel(window=3)
+        model.train(NORMAL)
+        attack = ["open", "write", "exit"]  # never-seen ordering
+        assert not model.accepts(attack)
+        assert model.anomaly_rate(attack) > 0
+
+    def test_short_trace_handled(self):
+        model = StideModel(window=6)
+        model.train(["open"])
+        assert model.accepts(["open"])
+        assert not model.accepts(["close"])
+
+    def test_train_many(self):
+        model = StideModel(window=2)
+        model.train_many([["a", "b"], ["b", "c"]])
+        assert model.accepts(["a", "b"])
+        assert model.accepts(["b", "c"])
+        assert not model.accepts(["c", "a"])
+
+    def test_anomaly_indices(self):
+        model = StideModel(window=2)
+        model.train(["a", "b", "c"])
+        anomalies = model.anomalies(["a", "b", "x", "c"])
+        assert anomalies == [1, 2]
+
+    def test_mimicry_evades_stide(self):
+        # The §2.2 observation: an attack composed entirely of learned
+        # windows is invisible to sequence monitoring.
+        model = StideModel(window=2)
+        model.train(["open", "read", "write", "open", "unlink", "exit"])
+        mimicry = ["open", "read", "write", "open", "unlink", "exit"]
+        assert model.accepts(mimicry)
+
+    def test_empty_trace(self):
+        model = StideModel()
+        assert model.accepts([])
+        assert model.anomaly_rate([]) == 0.0
+
+
+class TestProperties:
+    @given(trace=st.lists(st.sampled_from("abcdef"), max_size=30))
+    def test_training_trace_always_accepted(self, trace):
+        model = StideModel(window=4)
+        model.train(trace)
+        assert model.accepts(trace)
+
+    @given(
+        trace=st.lists(st.sampled_from("abc"), min_size=6, max_size=20),
+        novel=st.sampled_from("xyz"),
+        where=st.integers(min_value=0, max_value=19),
+    )
+    def test_novel_symbol_always_detected(self, trace, novel, where):
+        model = StideModel(window=3)
+        model.train(trace)
+        mutated = list(trace)
+        mutated[where % len(mutated)] = novel
+        assert not model.accepts(mutated)
+
+
+class TestStideEnforcement:
+    """Runtime enforcement via the kernel tracer hook."""
+
+    PROGRAM = """
+.section .text
+.global _start
+_start:
+    mov r12, r1
+    call sys_getpid
+    call sys_getuid
+    cmpi r12, 2
+    blt finish
+    call sys_getgid          ; rare path
+finish:
+    li r1, 0
+    call sys_exit
+"""
+
+    def _binary(self):
+        from repro.asm import assemble
+        from repro.workloads.runtime import runtime_source
+
+        return assemble(
+            self.PROGRAM + runtime_source(
+                "linux", ("getpid", "getuid", "getgid", "exit")
+            ),
+            metadata={"program": "stide-demo"},
+        )
+
+    def _trained_model(self, argvs):
+        from repro.kernel import Kernel
+        from repro.monitor import StideModel, SyscallTracer
+
+        model = StideModel(window=2)
+        for argv in argvs:
+            kernel = Kernel()
+            tracer = SyscallTracer()
+            kernel.tracer = tracer
+            kernel.run(self._binary(), argv=argv)
+            model.train(tracer.calls)
+        return model
+
+    def test_conforming_run_allowed(self):
+        from repro.kernel import Kernel
+        from repro.monitor.stide import StideMonitor
+
+        model = self._trained_model([["d"]])
+        kernel = Kernel()
+        StideMonitor(model, kernel)
+        result = kernel.run(self._binary(), argv=["d"])
+        assert result.ok
+
+    def test_rare_path_false_alarm(self):
+        from repro.kernel import Kernel
+        from repro.monitor.stide import StideMonitor
+
+        model = self._trained_model([["d"]])
+        kernel = Kernel()
+        StideMonitor(model, kernel)
+        result = kernel.run(self._binary(), argv=["d", "full"])
+        assert result.killed
+        assert "stide" in result.kill_reason
+
+    def test_trained_rare_path_allowed(self):
+        from repro.kernel import Kernel
+        from repro.monitor.stide import StideMonitor
+
+        model = self._trained_model([["d"], ["d", "full"]])
+        kernel = Kernel()
+        StideMonitor(model, kernel)
+        assert kernel.run(self._binary(), argv=["d", "full"]).ok

@@ -1,0 +1,208 @@
+"""The Systrace-like training baseline (§2, §4.2)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.monitor import FSREAD, FSWRITE, SystraceMonitor, train_policy
+from repro.workloads.runtime import runtime_source
+
+#: A program with a rare path: mode argument switches on extra calls.
+PROGRAM = """
+.section .text
+.global _start
+_start:
+    mov r12, r1
+    ; common path: getpid
+    call sys_getpid
+    cmpi r12, 2
+    blt finish
+    ; rare path (only with an extra argv): gettimeofday + kill probe
+    li r1, tv
+    li r2, 0
+    call sys_gettimeofday
+    call sys_getpid
+    mov r1, r0
+    li r2, 0
+    call sys_kill
+finish:
+    li r1, f
+    li r2, 0x241
+    li r3, 0x1a4
+    call sys_open
+    li r1, 0
+    call sys_exit
+.section .rodata
+f:
+    .asciz "/tmp/out"
+.section .bss
+tv:
+    .space 8
+""" + runtime_source(
+    "linux", ("getpid", "gettimeofday", "kill", "open", "exit")
+)
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return assemble(PROGRAM, metadata={"program": "trainee"})
+
+
+class TestTraining:
+    def test_common_path_learned(self, binary):
+        policy = train_policy(binary, [["trainee"]], hand_edit=False)
+        assert {"getpid", "open", "exit"} <= policy.allowed
+
+    def test_rare_path_missed(self, binary):
+        policy = train_policy(binary, [["trainee"]], hand_edit=False)
+        assert "gettimeofday" not in policy.allowed
+        assert "kill" not in policy.allowed
+
+    def test_rare_path_learned_when_exercised(self, binary):
+        policy = train_policy(binary, [["trainee"], ["trainee", "full"]], hand_edit=False)
+        assert "gettimeofday" in policy.allowed
+        assert "kill" in policy.allowed
+
+    def test_hand_edit_adds_alias_sets(self, binary):
+        policy = train_policy(binary, [["trainee"]])
+        assert FSREAD <= policy.allowed
+        assert FSWRITE <= policy.allowed
+        assert "mkdir" in policy.via_alias  # unneeded, admitted by alias
+
+    def test_via_alias_disjoint_from_observed(self, binary):
+        policy = train_policy(binary, [["trainee"]])
+        assert "open" not in policy.via_alias
+
+
+class TestEnforcement:
+    def test_conforming_run_allowed(self, binary):
+        policy = train_policy(binary, [["trainee"]])
+        monitor = SystraceMonitor(policy)
+        result = monitor.run(binary, argv=["trainee"])
+        assert result.ok
+        assert monitor.checked_calls == result.syscalls
+
+    def test_rare_path_false_alarm(self, binary):
+        # The paper's core criticism of training: the legitimate rare
+        # path trips the monitor.
+        policy = train_policy(binary, [["trainee"]])
+        monitor = SystraceMonitor(policy)
+        result = monitor.run(binary, argv=["trainee", "full"])
+        assert result.killed
+        assert "false alarm" in monitor.audit.kills()[0].reason
+
+    def test_daemon_cost_charged(self, binary):
+        policy = train_policy(binary, [["trainee"]])
+        monitor = SystraceMonitor(policy)
+        result = monitor.run(binary, argv=["trainee"])
+        assert monitor.daemon_cycles > 0
+        # Every call pays the user-space round trip.
+        from repro.monitor.systrace import CONTEXT_SWITCH_COST, POLICY_LOOKUP_COST
+
+        assert monitor.daemon_cycles == result.syscalls * (
+            2 * CONTEXT_SWITCH_COST + POLICY_LOOKUP_COST
+        )
+
+
+class TestIndirectionHiding:
+    def test_syscall_wrapper_recorded_as_inner_call(self):
+        source = """
+.section .text
+.global _start
+_start:
+    li r1, 0
+    li r2, 4096
+    li r3, 3
+    li r4, 0x22
+    li r5, 0xFFFFFFFF
+    call sys_mmap
+    li r1, 0
+    call sys_exit
+""" + runtime_source("openbsd", ("mmap", "exit"))
+        binary = assemble(source, metadata={"program": "m", "personality": "openbsd"})
+        policy = train_policy(binary, [["m"]], hand_edit=False)
+        assert "mmap" in policy.allowed
+        assert "__syscall" not in policy.allowed
+
+
+class TestPathPolicies:
+    """§2.1: Systrace constrains argument values (paths) too."""
+
+    OPENER = """
+.section .text
+.global _start
+_start:
+    li r11, 1
+    shli r9, r11, 2
+    add r9, r2, r9
+    ld r1, [r9+0]        ; argv[1]
+    li r2, 0
+    call sys_open
+    li r1, 0
+    call sys_exit
+""" + runtime_source("linux", ("open", "exit"))
+
+    def _binary(self):
+        return assemble(self.OPENER, metadata={"program": "opener"})
+
+    def _factory(self):
+        from repro.kernel import Kernel
+
+        def make():
+            kernel = Kernel()
+            kernel.vfs.write_file("/etc/motd", b"m")
+            kernel.vfs.write_file("/etc/passwd", b"p")
+            return kernel
+
+        return make
+
+    def test_paths_learned(self):
+        policy = train_policy(
+            self._binary(), [["opener", "/etc/motd"]],
+            record_paths=True, kernel_factory=self._factory(),
+        )
+        assert policy.path_rules["open"] == frozenset({"/etc/motd"})
+
+    def test_learned_path_allowed(self):
+        policy = train_policy(
+            self._binary(), [["opener", "/etc/motd"]],
+            record_paths=True, kernel_factory=self._factory(),
+        )
+        monitor = SystraceMonitor(policy)
+        monitor.vfs.write_file("/etc/motd", b"m")
+        result = monitor.run(self._binary(), argv=["opener", "/etc/motd"])
+        assert result.ok
+
+    def test_unlearned_path_denied(self):
+        policy = train_policy(
+            self._binary(), [["opener", "/etc/motd"]],
+            record_paths=True, kernel_factory=self._factory(),
+        )
+        monitor = SystraceMonitor(policy)
+        monitor.vfs.write_file("/etc/passwd", b"p")
+        result = monitor.run(self._binary(), argv=["opener", "/etc/passwd"])
+        assert result.killed
+        assert "path" in monitor.audit.kills()[0].reason
+
+    def test_symlink_race_caught_by_normalization(self):
+        policy = train_policy(
+            self._binary(), [["opener", "/tmp/foo"]],
+            record_paths=True, kernel_factory=self._factory(),
+        )
+        # Training saw /tmp/foo as a missing plain file; the attacker
+        # now plants a symlink to /etc/passwd at the same name.
+        monitor = SystraceMonitor(policy)
+        monitor.vfs.write_file("/etc/passwd", b"p")
+        monitor.vfs.symlink("/etc/passwd", "/tmp/foo")
+        result = monitor.run(self._binary(), argv=["opener", "/tmp/foo"])
+        assert result.killed
+
+    def test_admin_pattern_allows_family(self):
+        policy = train_policy(
+            self._binary(), [["opener", "/etc/motd"]],
+            record_paths=True, kernel_factory=self._factory(),
+        )
+        policy.path_patterns["open"] = ("/tmp/*",)
+        monitor = SystraceMonitor(policy)
+        monitor.vfs.write_file("/tmp/scratch-42", b"x")
+        result = monitor.run(self._binary(), argv=["opener", "/tmp/scratch-42"])
+        assert result.ok

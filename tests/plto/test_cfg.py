@@ -1,0 +1,223 @@
+"""CFG construction and the syscall ordering graph."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.plto import build_cfg, build_call_graph, disassemble, syscall_ordering
+from repro.plto.callgraph import ENTRY_BLOCK_ID
+from repro.plto.cfg import CfgError
+
+
+def _cfg(source: str):
+    return build_cfg(disassemble(assemble(source)))
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg(".section .text\n_start:\n  li r1, 1\n  li r2, 2\n  halt")
+        assert len(cfg.blocks) == 1
+
+    def test_branch_splits_blocks(self):
+        cfg = _cfg("""
+.section .text
+_start:
+    cmpi r1, 0
+    beq target
+    li r2, 1
+target:
+    halt
+""")
+        assert len(cfg.blocks) == 3
+
+    def test_trap_terminates_block(self):
+        cfg = _cfg(".section .text\n_start:\n  sys\n  sys\n  halt")
+        assert len(cfg.blocks) == 3
+        assert cfg.syscall_blocks() == [0, 1]
+
+    def test_conditional_has_two_successors(self):
+        cfg = _cfg("""
+.section .text
+_start:
+    cmpi r1, 0
+    beq done
+    li r2, 1
+done:
+    halt
+""")
+        assert sorted(cfg.blocks[0].successors) == [1, 2]
+
+    def test_jmp_has_one_successor(self):
+        cfg = _cfg("""
+.section .text
+_start:
+    jmp over
+    li r1, 1
+over:
+    halt
+""")
+        assert cfg.blocks[0].successors == [2]
+
+    def test_predecessors_mirror_successors(self):
+        cfg = _cfg("""
+.section .text
+_start:
+    cmpi r1, 0
+    beq done
+    li r2, 1
+done:
+    halt
+""")
+        assert sorted(cfg.blocks[2].predecessors) == [0, 1]
+
+    def test_entry_block_found(self):
+        cfg = _cfg(".section .text\nhelper:\n  ret\n.global _start\n_start:\n  halt")
+        assert cfg.entry_block == cfg.block_of_label("_start")
+
+    def test_computed_branch_rejected(self):
+        # Branch targets must be symbolic for rewriting to be safe.
+        binary = assemble(".section .text\n_start:\n  jmp over\nover:\n  halt")
+        unit = disassemble(binary)
+        unit.insns[0].instruction.imm = 0x8048008  # concretize the target
+        with pytest.raises(CfgError):
+            build_cfg(unit)
+
+
+class TestCallGraph:
+    SOURCE = """
+.section .text
+.global _start
+_start:
+    call first
+    call second
+    halt
+first:
+    sys
+    ret
+second:
+    sys
+    ret
+"""
+
+    def test_functions_discovered(self):
+        graph = build_call_graph(_cfg(self.SOURCE))
+        assert set(graph.functions) == {"_start", "first", "second"}
+
+    def test_calls_recorded(self):
+        graph = build_call_graph(_cfg(self.SOURCE))
+        callees = {callee for _, callee in graph.calls}
+        assert callees == {"first", "second"}
+
+    def test_return_blocks(self):
+        graph = build_call_graph(_cfg(self.SOURCE))
+        assert len(graph.functions["first"].return_blocks) == 1
+
+
+class TestSyscallOrdering:
+    def test_linear_chain(self):
+        cfg = _cfg(".section .text\n_start:\n  sys\n  sys\n  halt")
+        order = syscall_ordering(build_call_graph(cfg))
+        assert order[1] == frozenset({ENTRY_BLOCK_ID})
+        assert order[2] == frozenset({1})
+
+    def test_branch_joins_predecessors(self):
+        cfg = _cfg("""
+.section .text
+_start:
+    cmpi r1, 0
+    beq right
+    sys             ; block id 2
+    jmp after
+right:
+    sys             ; block id 4
+after:
+    sys             ; joined: preds = {2, 4}
+    halt
+""")
+        order = syscall_ordering(build_call_graph(cfg))
+        values = list(order.values())
+        joined = [v for v in values if len(v) == 2]
+        assert len(joined) == 1
+
+    def test_loop_allows_self_predecessor(self):
+        cfg = _cfg("""
+.section .text
+_start:
+loop:
+    sys
+    cmpi r1, 0
+    bne loop
+    halt
+""")
+        order = syscall_ordering(build_call_graph(cfg))
+        (syscall_block, preds), = [
+            (k, v) for k, v in order.items()
+        ]
+        assert syscall_block in preds  # the loop back edge
+        assert ENTRY_BLOCK_ID in preds
+
+    def test_interprocedural_through_call(self):
+        cfg = _cfg("""
+.section .text
+.global _start
+_start:
+    sys              ; A
+    call helper
+    sys              ; C: preceded by helper's B, not by A
+    halt
+helper:
+    sys              ; B: preceded by A
+    ret
+""")
+        order = syscall_ordering(build_call_graph(cfg))
+        ids = sorted(order)
+        a, c, b = ids[0], ids[1], ids[2]
+        assert order[b] == frozenset({a})
+        assert order[c] == frozenset({b})
+
+    def test_call_may_or_may_not_run_callee_syscall(self):
+        cfg = _cfg("""
+.section .text
+.global _start
+_start:
+    sys              ; A
+    call helper
+    sys              ; C
+    halt
+helper:
+    cmpi r1, 0
+    beq skip
+    sys              ; B
+skip:
+    ret
+""")
+        order = syscall_ordering(build_call_graph(cfg))
+        # C's predecessors: B (callee ran its call) or A (it did not).
+        chains = [v for v in order.values() if len(v) == 2]
+        assert len(chains) == 1
+
+
+class TestIndirectCalls:
+    def test_indirect_call_targets_all_functions(self):
+        cfg = _cfg("""
+.section .text
+.global _start
+_start:
+    sys              ; A
+    li r9, helper
+    callr r9
+    sys              ; C
+    halt
+helper:
+    sys              ; B
+    ret
+other:
+    sys              ; D
+    ret
+""")
+        graph = build_call_graph(cfg)
+        assert graph.indirect_call_blocks
+        order = syscall_ordering(graph)
+        # Conservatively, the indirect call may reach helper OR other,
+        # so C's predecessors include both B and D.
+        c_preds = max(order.values(), key=len)
+        assert len(c_preds) >= 2

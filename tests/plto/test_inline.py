@@ -1,0 +1,160 @@
+"""Stub inlining and baseline passes."""
+
+from repro.asm import assemble
+from repro.isa.opcodes import Op
+from repro.kernel import Kernel
+from repro.plto import (
+    disassemble,
+    inline_syscall_stubs,
+    reassemble,
+    remove_nops,
+    run_baseline_passes,
+)
+from repro.plto.passes import remove_dead_li
+
+STUBS = """
+.section .text
+.global _start
+_start:
+    li r1, 11
+    call sys_exit
+sys_exit:
+    li r0, 1
+    sys
+    ret
+"""
+
+
+class TestInlining:
+    def test_call_replaced_with_body(self):
+        unit = disassemble(assemble(STUBS))
+        report = inline_syscall_stubs(unit)
+        assert report.sites_inlined == 1
+        assert report.stubs == ["sys_exit"]
+        ops = [insn.instruction.op for insn in unit.insns]
+        assert Op.CALL not in ops
+        assert Op.SYS in ops
+
+    def test_dead_stub_removed(self):
+        unit = disassemble(assemble(STUBS))
+        report = inline_syscall_stubs(unit)
+        assert report.stubs_removed == ["sys_exit"]
+        assert "sys_exit" not in unit.binary.symbols
+
+    def test_two_calls_two_sites(self):
+        source = """
+.section .text
+.global _start
+_start:
+    call sys_getpid
+    call sys_getpid
+    halt
+sys_getpid:
+    li r0, 20
+    sys
+    ret
+"""
+        unit = disassemble(assemble(source))
+        report = inline_syscall_stubs(unit)
+        assert report.sites_inlined == 2
+        ops = [i.instruction.op for i in unit.insns]
+        assert ops.count(Op.SYS) == 2
+
+    def test_non_stub_function_untouched(self):
+        source = """
+.section .text
+.global _start
+_start:
+    call not_a_stub
+    halt
+not_a_stub:
+    cmpi r1, 0
+    beq skip
+    sys
+skip:
+    ret
+"""
+        unit = disassemble(assemble(source))
+        report = inline_syscall_stubs(unit)
+        assert report.sites_inlined == 0
+        ops = [i.instruction.op for i in unit.insns]
+        assert Op.CALL in ops
+
+    def test_semantics_preserved(self):
+        unit = disassemble(assemble(STUBS))
+        inline_syscall_stubs(unit)
+        result = Kernel().run(reassemble(unit))
+        assert result.exit_status == 11
+
+    def test_indirect_calls_protect_stubs(self):
+        source = """
+.section .text
+.global _start
+_start:
+    li r9, sys_exit
+    call sys_exit
+    callr r9
+sys_exit:
+    li r0, 1
+    sys
+    ret
+"""
+        unit = disassemble(assemble(source))
+        report = inline_syscall_stubs(unit)
+        assert report.stubs_removed == []
+        assert "sys_exit" in unit.binary.symbols
+
+
+class TestPasses:
+    def test_nop_removal(self):
+        unit = disassemble(
+            assemble(".section .text\n_start:\n nop\n nop\n li r1, 3\n halt")
+        )
+        assert remove_nops(unit) == 2
+        assert unit.insns[0].labels == ["_start"]
+        assert Kernel().run(reassemble(unit)).exit_status == 3
+
+    def test_dead_li_removed(self):
+        unit = disassemble(
+            assemble(".section .text\n_start:\n li r1, 9\n li r1, 5\n halt")
+        )
+        assert remove_dead_li(unit) == 1
+        assert Kernel().run(reassemble(unit)).exit_status == 5
+
+    def test_live_li_kept(self):
+        unit = disassemble(
+            assemble(
+                ".section .text\n_start:\n li r1, 9\n mov r2, r1\n li r1, 5\n halt"
+            )
+        )
+        assert remove_dead_li(unit) == 0
+
+    def test_li_live_across_branch_kept(self):
+        unit = disassemble(
+            assemble("""
+.section .text
+_start:
+    li r1, 9
+    cmpi r9, 0
+    beq skip
+    li r1, 5
+skip:
+    halt
+""")
+        )
+        assert remove_dead_li(unit) == 0
+        # r9 starts 0, so the branch is taken and r1 stays 9.
+        assert Kernel().run(reassemble(unit)).exit_status == 9
+
+    def test_li_read_by_trap_kept(self):
+        unit = disassemble(
+            assemble(".section .text\n_start:\n li r0, 1\n li r1, 7\n sys\n li r1, 9\n halt")
+        )
+        assert remove_dead_li(unit) == 0
+
+    def test_baseline_pass_bundle(self):
+        unit = disassemble(
+            assemble(".section .text\n_start:\n nop\n li r1, 1\n li r1, 2\n halt")
+        )
+        stats = run_baseline_passes(unit)
+        assert stats == {"nops_removed": 1, "dead_li_removed": 1}

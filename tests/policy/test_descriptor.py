@@ -1,0 +1,74 @@
+"""Policy descriptor bit layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy import PolicyDescriptor
+
+
+class TestBits:
+    def test_empty(self):
+        descriptor = PolicyDescriptor()
+        assert not descriptor.call_site_constrained
+        assert not descriptor.control_flow_constrained
+        assert descriptor.constrained_params() == []
+
+    def test_call_site(self):
+        assert PolicyDescriptor().with_call_site().call_site_constrained
+
+    def test_params(self):
+        descriptor = PolicyDescriptor().with_param(0).with_param(3, is_string=True)
+        assert descriptor.param_constrained(0)
+        assert not descriptor.param_is_string(0)
+        assert descriptor.param_constrained(3)
+        assert descriptor.param_is_string(3)
+        assert descriptor.constrained_params() == [0, 3]
+
+    def test_control_flow(self):
+        assert PolicyDescriptor().with_control_flow().control_flow_constrained
+
+    def test_capability(self):
+        assert PolicyDescriptor().with_capability().capability_tracked
+
+    def test_pattern_implies_string(self):
+        descriptor = PolicyDescriptor().with_pattern_param(2)
+        assert descriptor.param_is_pattern(2)
+        assert descriptor.param_is_string(2)
+        assert descriptor.pattern_params() == [2]
+
+    def test_out_of_range_param(self):
+        with pytest.raises(ValueError):
+            PolicyDescriptor().with_param(6)
+
+    def test_int_round_trip(self):
+        descriptor = (
+            PolicyDescriptor().with_call_site().with_param(1).with_control_flow()
+        )
+        assert PolicyDescriptor(int(descriptor)).constrained_params() == [1]
+
+    def test_immutable_builders(self):
+        base = PolicyDescriptor()
+        derived = base.with_call_site()
+        assert not base.call_site_constrained
+        assert derived is not base
+
+
+class TestProperties:
+    @given(params=st.sets(st.integers(min_value=0, max_value=5)))
+    def test_constrained_params_round_trip(self, params):
+        descriptor = PolicyDescriptor()
+        for index in params:
+            descriptor = descriptor.with_param(index)
+        assert descriptor.constrained_params() == sorted(params)
+
+    @given(
+        params=st.sets(st.integers(min_value=0, max_value=5)),
+        strings=st.sets(st.integers(min_value=0, max_value=5)),
+    )
+    def test_string_bits_independent(self, params, strings):
+        descriptor = PolicyDescriptor()
+        for index in params:
+            descriptor = descriptor.with_param(index, is_string=index in strings)
+        for index in params:
+            assert descriptor.param_is_string(index) == (index in strings)

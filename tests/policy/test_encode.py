@@ -1,0 +1,156 @@
+"""Encoded policy construction: installer/kernel agreement surface."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy import ParamEncoding, PolicyDescriptor, encode_policy
+from repro.policy.encode import (
+    EncodeError,
+    pack_predecessor_set,
+    unpack_predecessor_set,
+)
+
+MAC = bytes(16)
+
+
+def _descriptor(params=(), strings=(), control_flow=False, capability=False):
+    descriptor = PolicyDescriptor().with_call_site()
+    for index in params:
+        descriptor = descriptor.with_param(index, is_string=index in strings)
+    if control_flow:
+        descriptor = descriptor.with_control_flow()
+    if capability:
+        descriptor = descriptor.with_capability()
+    return descriptor
+
+
+class TestEncoding:
+    def test_minimal_layout(self):
+        encoded = encode_policy(_descriptor(), 20, 0x8048000, 7, [])
+        # u16 num + u32 descriptor + u32 site + u32 block
+        assert len(encoded) == 2 + 4 + 4 + 4
+        assert encoded[:2] == (20).to_bytes(2, "little")
+
+    def test_immediate_param_adds_four_bytes(self):
+        base = encode_policy(_descriptor(), 4, 0, 1, [])
+        with_param = encode_policy(
+            _descriptor(params=(1,)), 4, 0, 1, [ParamEncoding.immediate(1, 5)]
+        )
+        assert len(with_param) == len(base) + 4
+
+    def test_string_param_adds_triple(self):
+        base = encode_policy(_descriptor(), 4, 0, 1, [])
+        with_string = encode_policy(
+            _descriptor(params=(0,), strings=(0,)),
+            4, 0, 1,
+            [ParamEncoding.auth_string(0, 0x1000, 9, MAC)],
+        )
+        assert len(with_string) == len(base) + 4 + 4 + 16
+
+    def test_control_flow_section(self):
+        encoded = encode_policy(
+            _descriptor(control_flow=True),
+            4, 0, 1, [],
+            predset=(0x2000, 8, MAC),
+            lastblock_address=0x3000,
+        )
+        assert (0x3000).to_bytes(4, "little") in encoded
+
+    def test_capability_section(self):
+        encoded = encode_policy(
+            _descriptor(capability=True),
+            3, 0, 1, [],
+            capability=(0b10, (0x2000, 8, MAC)),
+        )
+        base = encode_policy(_descriptor(), 3, 0, 1, [])
+        assert len(encoded) == len(base) + 4 + 4 + 4 + 16
+
+    def test_params_ordered_by_index(self):
+        a = encode_policy(
+            _descriptor(params=(0, 2)),
+            4, 0, 1,
+            [ParamEncoding.immediate(0, 0xAAAA), ParamEncoding.immediate(2, 0xBBBB)],
+        )
+        b = encode_policy(
+            _descriptor(params=(0, 2)),
+            4, 0, 1,
+            [ParamEncoding.immediate(2, 0xBBBB), ParamEncoding.immediate(0, 0xAAAA)],
+        )
+        assert a == b
+
+    def test_any_field_change_changes_encoding(self):
+        reference = encode_policy(
+            _descriptor(params=(1,)), 4, 0x100, 2, [ParamEncoding.immediate(1, 7)]
+        )
+        variants = [
+            encode_policy(_descriptor(params=(1,)), 5, 0x100, 2, [ParamEncoding.immediate(1, 7)]),
+            encode_policy(_descriptor(params=(1,)), 4, 0x104, 2, [ParamEncoding.immediate(1, 7)]),
+            encode_policy(_descriptor(params=(1,)), 4, 0x100, 3, [ParamEncoding.immediate(1, 7)]),
+            encode_policy(_descriptor(params=(1,)), 4, 0x100, 2, [ParamEncoding.immediate(1, 8)]),
+        ]
+        assert all(v != reference for v in variants)
+
+
+class TestValidation:
+    def test_missing_param_encoding(self):
+        with pytest.raises(EncodeError):
+            encode_policy(_descriptor(params=(0,)), 4, 0, 1, [])
+
+    def test_unconstrained_param_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_policy(_descriptor(), 4, 0, 1, [ParamEncoding.immediate(0, 5)])
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_policy(
+                _descriptor(params=(0,)),
+                4, 0, 1,
+                [ParamEncoding.immediate(0, 5), ParamEncoding.immediate(0, 6)],
+            )
+
+    def test_string_where_immediate_expected(self):
+        with pytest.raises(EncodeError):
+            encode_policy(
+                _descriptor(params=(0,)),
+                4, 0, 1,
+                [ParamEncoding.auth_string(0, 0x1000, 4, MAC)],
+            )
+
+    def test_control_flow_without_predset(self):
+        with pytest.raises(EncodeError):
+            encode_policy(_descriptor(control_flow=True), 4, 0, 1, [])
+
+    def test_predset_without_control_flow(self):
+        with pytest.raises(EncodeError):
+            encode_policy(_descriptor(), 4, 0, 1, [], predset=(0, 0, MAC))
+
+    def test_capability_without_bit(self):
+        with pytest.raises(EncodeError):
+            encode_policy(_descriptor(), 4, 0, 1, [], capability=(1, (0, 0, MAC)))
+
+    def test_bad_mac_size(self):
+        with pytest.raises(ValueError):
+            ParamEncoding.auth_string(0, 0, 0, b"short")
+
+
+class TestPredecessorSets:
+    def test_round_trip(self):
+        blocks = frozenset({1, 5, 99})
+        assert unpack_predecessor_set(pack_predecessor_set(blocks)) == blocks
+
+    def test_sorted_packing_is_canonical(self):
+        assert pack_predecessor_set(frozenset({2, 1})) == pack_predecessor_set(
+            frozenset({1, 2})
+        )
+
+    def test_empty(self):
+        assert unpack_predecessor_set(b"") == frozenset()
+
+    def test_ragged_rejected(self):
+        with pytest.raises(EncodeError):
+            unpack_predecessor_set(b"\x01\x02\x03")
+
+    @given(blocks=st.frozensets(st.integers(min_value=0, max_value=0xFFFFFFFF), max_size=32))
+    def test_round_trip_property(self, blocks):
+        assert unpack_predecessor_set(pack_predecessor_set(blocks)) == blocks

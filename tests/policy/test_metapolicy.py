@@ -1,0 +1,105 @@
+"""Metapolicies and policy templates (§5.2)."""
+
+import pytest
+
+from repro.policy import MetaPolicy, Strictness
+from repro.policy.descriptor import ParamClass
+from repro.policy.metapolicy import MetaRule
+from repro.policy.model import ParamPolicy, ProgramPolicy, SyscallPolicy
+
+
+def _site(syscall="open", number=5, call_site=0x100, params=None, nargs=3,
+          outputs=frozenset()):
+    policy = SyscallPolicy(
+        syscall=syscall, number=number, call_site=call_site, block_id=1,
+        arg_count=nargs, output_params=outputs,
+    )
+    for index, value in (params or {}).items():
+        kind = ParamClass.STRING if isinstance(value, bytes) else ParamClass.IMMEDIATE
+        policy.params[index] = ParamPolicy(index, kind, value)
+    return policy
+
+
+def _program(*sites):
+    program = ProgramPolicy(program="demo")
+    for site in sites:
+        program.sites[site.call_site] = site
+    return program
+
+
+class TestRules:
+    def test_default_rule(self):
+        assert MetaPolicy().rule_for("read").strictness is Strictness.CALL_SITE
+
+    def test_high_threat_defaults(self):
+        metapolicy = MetaPolicy.high_threat_default()
+        assert metapolicy.rule_for("execve").strictness is Strictness.FULL
+        assert 0 in metapolicy.rule_for("open").required_params
+
+
+class TestUnmetRequirements:
+    def test_call_site_tier_satisfied(self):
+        metapolicy = MetaPolicy()
+        assert metapolicy.unmet_requirements(_site()) == []
+
+    def test_args_tier_missing_param(self):
+        metapolicy = MetaPolicy(rules={"open": MetaRule("open", Strictness.ARGS, frozenset({0}))})
+        assert metapolicy.unmet_requirements(_site()) == [0]
+
+    def test_args_tier_satisfied_by_string(self):
+        metapolicy = MetaPolicy(rules={"open": MetaRule("open", Strictness.ARGS, frozenset({0}))})
+        site = _site(params={0: b"/etc/motd"})
+        assert metapolicy.unmet_requirements(site) == []
+
+    def test_full_tier_excludes_outputs(self):
+        metapolicy = MetaPolicy(rules={"stat": MetaRule("stat", Strictness.FULL)})
+        site = _site(syscall="stat", number=106, nargs=2, outputs=frozenset({1}))
+        assert metapolicy.unmet_requirements(site) == [0]
+
+    def test_none_tier(self):
+        metapolicy = MetaPolicy(rules={"getpid": MetaRule("getpid", Strictness.NONE)})
+        assert metapolicy.unmet_requirements(_site(syscall="getpid", nargs=0)) == []
+
+
+class TestTemplates:
+    def _template(self):
+        metapolicy = MetaPolicy(
+            rules={"open": MetaRule("open", Strictness.ARGS, frozenset({0}))}
+        )
+        program = _program(_site(call_site=0x100), _site(call_site=0x200))
+        return metapolicy.evaluate(program), program
+
+    def test_holes_enumerated(self):
+        template, _ = self._template()
+        assert len(template.holes) == 2
+        assert not template.complete
+
+    def test_fill_and_resolve(self):
+        template, program = self._template()
+        template.fill(0x100, 0, b"/etc/motd")
+        template.fill(0x200, 0, "/tmp/*")
+        assert template.complete
+        resolved = template.resolve()
+        assert resolved.sites[0x100].params[0].pattern == "/etc/motd"
+        assert resolved.sites[0x200].params[0].pattern == "/tmp/*"
+
+    def test_fill_unknown_hole(self):
+        template, _ = self._template()
+        with pytest.raises(KeyError):
+            template.fill(0x999, 0, 5)
+
+    def test_resolve_incomplete_rejected(self):
+        template, _ = self._template()
+        template.fill(0x100, 0, b"/a")
+        with pytest.raises(ValueError):
+            template.resolve()
+
+    def test_integer_fill_is_immediate(self):
+        metapolicy = MetaPolicy(
+            rules={"open": MetaRule("open", Strictness.ARGS, frozenset({1}))}
+        )
+        program = _program(_site())
+        template = metapolicy.evaluate(program)
+        template.fill(0x100, 1, 0)
+        resolved = template.resolve()
+        assert resolved.sites[0x100].params[1].kind is ParamClass.IMMEDIATE

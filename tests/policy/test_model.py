@@ -1,0 +1,124 @@
+"""Logical policy objects: descriptors, rendering, coverage rows."""
+
+import pytest
+
+from repro.policy import ParamPolicy, ProgramPolicy, SyscallPolicy
+from repro.policy.descriptor import ParamClass
+
+
+def _policy(**kwargs):
+    defaults = dict(
+        syscall="open", number=5, call_site=0x806C462, block_id=9, arg_count=3
+    )
+    defaults.update(kwargs)
+    return SyscallPolicy(**defaults)
+
+
+class TestParamPolicy:
+    def test_immediate_requires_int(self):
+        with pytest.raises(ValueError):
+            ParamPolicy(0, ParamClass.IMMEDIATE, b"not an int")
+
+    def test_string_requires_bytes(self):
+        with pytest.raises(ValueError):
+            ParamPolicy(0, ParamClass.STRING, 5)
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            ParamPolicy(6, ParamClass.IMMEDIATE, 1)
+
+
+class TestDescriptorDerivation:
+    def test_call_site_always_constrained(self):
+        assert _policy().descriptor().call_site_constrained
+
+    def test_string_param_sets_string_bit(self):
+        policy = _policy()
+        policy.params[0] = ParamPolicy(0, ParamClass.STRING, b"/dev/console")
+        descriptor = policy.descriptor()
+        assert descriptor.param_is_string(0)
+
+    def test_pattern_param_sets_pattern_bit(self):
+        policy = _policy()
+        policy.params[0] = ParamPolicy(
+            0, ParamClass.STRING, b"/tmp/*", pattern="/tmp/*"
+        )
+        assert policy.descriptor().param_is_pattern(0)
+
+    def test_control_flow_bit(self):
+        policy = _policy(control_flow=True, predecessors=frozenset({1}))
+        assert policy.descriptor().control_flow_constrained
+
+    def test_capability_bit_from_producers(self):
+        policy = _policy()
+        policy.fd_producers[0] = frozenset({3})
+        assert policy.descriptor().capability_tracked
+
+
+class TestRendering:
+    def test_paper_form(self):
+        policy = _policy(control_flow=True, predecessors=frozenset({1235, 2010}))
+        policy.params[0] = ParamPolicy(0, ParamClass.STRING, b"/dev/console")
+        policy.params[1] = ParamPolicy(1, ParamClass.IMMEDIATE, 5)
+        text = policy.render()
+        assert "Permit open from location 0x0806c462" in text
+        assert 'Parameter 0 equals "/dev/console"' in text
+        assert "Parameter 1 equals 5" in text
+        assert "Parameter 2 equals ANY" in text
+        assert "Possible predecessors 1235, 2010" in text
+
+
+class TestProgramPolicy:
+    def test_duplicate_site_rejected(self):
+        program = ProgramPolicy(program="p")
+        program.add(_policy())
+        with pytest.raises(ValueError):
+            program.add(_policy())
+
+    def test_distinct_syscalls(self):
+        program = ProgramPolicy(program="p")
+        program.add(_policy(call_site=1))
+        program.add(_policy(call_site=2))
+        program.add(_policy(call_site=3, syscall="read", number=3))
+        assert program.distinct_syscalls() == {"open", "read"}
+
+    def test_coverage_row(self):
+        program = ProgramPolicy(program="p")
+        site = _policy(
+            output_params=frozenset({2}),
+            multi_value_params=frozenset({1}),
+            fd_params=frozenset(),
+        )
+        site.params[0] = ParamPolicy(0, ParamClass.STRING, b"/x")
+        program.add(site)
+        row = program.coverage_row()
+        assert row == {
+            "sites": 1, "calls": 1, "args": 3, "o/p": 1,
+            "auth": 1, "mv": 1, "fds": 0,
+        }
+
+
+class TestPredecessorStats:
+    def test_empty(self):
+        assert ProgramPolicy(program="p").predecessor_stats()["sites"] == 0
+
+    def test_distribution(self):
+        program = ProgramPolicy(program="p")
+        program.add(_policy(call_site=1, control_flow=True,
+                            predecessors=frozenset({0})))
+        program.add(_policy(call_site=2, control_flow=True,
+                            predecessors=frozenset({1, 2, 3})))
+        stats = program.predecessor_stats()
+        assert stats == {"sites": 2, "min": 1, "max": 3, "mean": 2.0, "total": 4}
+
+    def test_profile_program_stats_are_reasonable(self):
+        from repro.installer import generate_policy_only
+        from repro.workloads import build_profile_program
+
+        policy = generate_policy_only(build_profile_program("bison", "linux"))
+        stats = policy.predecessor_stats()
+        assert stats["sites"] == policy.site_count()
+        assert stats["min"] >= 1
+        # Straight-line emission keeps predecessor sets small; the
+        # branchy mv sites and the rare-gate joins push the max up.
+        assert stats["max"] >= 2

@@ -1,0 +1,55 @@
+"""File-name normalization (§5.4)."""
+
+from repro.kernel import Kernel
+from repro.policy.normalize import check_normalized, normalize_path
+
+
+class TestNormalizePath:
+    def test_plain(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/tmp/a", b"")
+        assert normalize_path(kernel.vfs, "/tmp/a") == "/tmp/a"
+
+    def test_missing_path_is_identity(self):
+        kernel = Kernel()
+        assert normalize_path(kernel.vfs, "/no/such/dir/file") == "/no/such/dir/file"
+
+    def test_relative_made_absolute(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/tmp/a", b"")
+        assert normalize_path(kernel.vfs, "a", cwd="/tmp") == "/tmp/a"
+
+
+class TestSymlinkRace:
+    """The §5.4 scenario: /tmp/foo -> /etc/passwd."""
+
+    def test_clean_file_matches_policy(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/tmp/foo", b"temp data")
+        assert check_normalized(kernel.vfs, "/tmp/foo", "/tmp/foo")
+
+    def test_planted_symlink_detected(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/etc/passwd", b"root:x")
+        kernel.vfs.symlink("/etc/passwd", "/tmp/foo")
+        assert not check_normalized(kernel.vfs, "/tmp/foo", "/tmp/foo")
+
+    def test_dotdot_traversal_detected(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/etc/passwd", b"root:x")
+        assert not check_normalized(
+            kernel.vfs, "/tmp/../etc/passwd", "/tmp/passwd"
+        )
+
+    def test_equivalent_spellings_accepted(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/tmp/foo", b"")
+        assert check_normalized(kernel.vfs, "/tmp/./foo", "/tmp/foo")
+        assert check_normalized(kernel.vfs, "/etc/../tmp/foo", "/tmp/foo")
+
+    def test_symlink_chain(self):
+        kernel = Kernel()
+        kernel.vfs.write_file("/etc/passwd", b"")
+        kernel.vfs.symlink("/etc/passwd", "/tmp/one")
+        kernel.vfs.symlink("/tmp/one", "/tmp/two")
+        assert normalize_path(kernel.vfs, "/tmp/two") == "/etc/passwd"

@@ -1,0 +1,125 @@
+"""Argument patterns with proof hints (§5.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy import Pattern, PatternError, derive_hint, match_with_hint
+
+
+class TestParsing:
+    def test_literal_only(self):
+        pattern = Pattern.parse("/etc/passwd")
+        assert pattern.hint_slots == 0
+
+    def test_star_and_choice_slots(self):
+        assert Pattern.parse("/tmp/*").hint_slots == 1
+        assert Pattern.parse("/tmp/{a,b}*").hint_slots == 2
+
+    def test_unterminated_brace(self):
+        with pytest.raises(PatternError):
+            Pattern.parse("/tmp/{ab")
+
+    def test_empty_alternation(self):
+        with pytest.raises(PatternError):
+            Pattern.parse("/tmp/{}")
+
+    def test_stray_close_brace(self):
+        with pytest.raises(PatternError):
+            Pattern.parse("/tmp/a}b")
+
+
+class TestPaperExample:
+    """§5.1's worked example: /tmp/{foo,bar}*baz vs /tmp/foofoobaz."""
+
+    PATTERN = Pattern.parse("/tmp/{foo,bar}*baz")
+
+    def test_hint_is_0_3(self):
+        assert derive_hint(self.PATTERN, b"/tmp/foofoobaz") == (0, 3)
+
+    def test_kernel_verifies_hint(self):
+        assert match_with_hint(self.PATTERN, b"/tmp/foofoobaz", (0, 3))
+
+    def test_wrong_branch_hint_rejected(self):
+        assert not match_with_hint(self.PATTERN, b"/tmp/foofoobaz", (1, 3))
+
+    def test_wrong_skip_hint_rejected(self):
+        assert not match_with_hint(self.PATTERN, b"/tmp/foofoobaz", (0, 2))
+
+    def test_bar_branch(self):
+        assert match_with_hint(self.PATTERN, b"/tmp/barbaz", (1, 0))
+
+    def test_non_matching_argument(self):
+        assert derive_hint(self.PATTERN, b"/etc/passwd") is None
+
+
+class TestMatching:
+    def test_literal_exact(self):
+        pattern = Pattern.parse("/etc/motd")
+        assert match_with_hint(pattern, b"/etc/motd", ())
+        assert not match_with_hint(pattern, b"/etc/motdX", ())
+        assert not match_with_hint(pattern, b"/etc/mot", ())
+
+    def test_star_consumes_exactly_hint(self):
+        pattern = Pattern.parse("/tmp/*")
+        assert match_with_hint(pattern, b"/tmp/abc", (3,))
+        assert not match_with_hint(pattern, b"/tmp/abc", (2,))
+
+    def test_star_can_be_empty(self):
+        pattern = Pattern.parse("/tmp/*")
+        assert match_with_hint(pattern, b"/tmp/", (0,))
+
+    def test_leftover_hint_rejected(self):
+        pattern = Pattern.parse("/tmp/x")
+        assert not match_with_hint(pattern, b"/tmp/x", (0,))
+
+    def test_missing_hint_rejected(self):
+        pattern = Pattern.parse("/tmp/*")
+        assert not match_with_hint(pattern, b"/tmp/abc", ())
+
+    def test_negative_or_overlong_skip(self):
+        pattern = Pattern.parse("/tmp/*")
+        assert not match_with_hint(pattern, b"/tmp/abc", (99,))
+        assert not match_with_hint(pattern, b"/tmp/abc", (-1,))
+
+    def test_two_stars(self):
+        pattern = Pattern.parse("*x*")
+        hint = derive_hint(pattern, b"aaxbb")
+        assert hint == (2, 2)
+        assert match_with_hint(pattern, b"aaxbb", hint)
+
+
+_LITERAL = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+    max_size=6,
+)
+
+
+class TestProperties:
+    @given(prefix=_LITERAL, middle=_LITERAL, suffix=_LITERAL)
+    def test_derived_hints_always_verify(self, prefix, middle, suffix):
+        pattern = Pattern.parse(f"{prefix}*{suffix}")
+        argument = (prefix + middle + suffix).encode()
+        hint = derive_hint(pattern, argument)
+        assert hint is not None
+        assert match_with_hint(pattern, argument, hint)
+
+    @given(
+        branches=st.lists(_LITERAL.filter(lambda s: s and "," not in s),
+                          min_size=1, max_size=3, unique=True),
+        pick=st.integers(min_value=0, max_value=2),
+        tail=_LITERAL,
+    )
+    def test_choice_round_trip(self, branches, pick, tail):
+        pattern = Pattern.parse("{" + ",".join(branches) + "}" + tail)
+        chosen = branches[pick % len(branches)]
+        argument = (chosen + tail).encode()
+        hint = derive_hint(pattern, argument)
+        assert hint is not None
+        assert match_with_hint(pattern, argument, hint)
+
+    @given(data=st.binary(max_size=16))
+    def test_verifier_never_crashes(self, data):
+        pattern = Pattern.parse("/tmp/{a,b}*")
+        for hint in ((), (0,), (0, 0), (1, 5), (2, 2)):
+            match_with_hint(pattern, data, hint)  # must not raise

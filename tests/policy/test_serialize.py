@@ -1,0 +1,110 @@
+"""Policy serialization round trips and audit diffs."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.installer import generate_policy_only
+from repro.policy.serialize import (
+    diff_policies,
+    policy_from_json,
+    policy_to_json,
+)
+from repro.workloads.runtime import runtime_source
+from repro.workloads import build_profile_program
+
+SOURCE = """
+.section .text
+.global _start
+_start:
+    li r1, path
+    li r2, 0
+    call sys_open
+    mov r1, r0
+    li r2, buf
+    li r3, 64
+    call sys_read
+    li r1, 0
+    call sys_exit
+.section .rodata
+path:
+    .asciz "/etc/motd"
+.section .bss
+buf:
+    .space 64
+""" + runtime_source("linux", ("open", "read", "exit"))
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return generate_policy_only(assemble(SOURCE, metadata={"program": "ser"}))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self, policy):
+        restored = policy_from_json(policy_to_json(policy))
+        assert restored.program == policy.program
+        assert restored.coverage_row() == policy.coverage_row()
+        assert restored.distinct_syscalls() == policy.distinct_syscalls()
+        for block in policy.sites:
+            before = policy.sites[block]
+            after = restored.sites[before.call_site] if before.call_site in restored.sites else restored.sites[block]
+            assert after.predecessors == before.predecessors
+            assert set(after.params) == set(before.params)
+
+    def test_serialization_is_canonical(self, policy):
+        assert policy_to_json(policy) == policy_to_json(
+            policy_from_json(policy_to_json(policy))
+        )
+
+    def test_profile_policy_round_trips(self):
+        policy = generate_policy_only(build_profile_program("bison", "linux"))
+        restored = policy_from_json(policy_to_json(policy))
+        assert restored.coverage_row() == policy.coverage_row()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            policy_from_json('{"format": 99, "sites": []}')
+
+    def test_descriptors_survive(self, policy):
+        restored = policy_from_json(policy_to_json(policy))
+        for block, site in policy.sites.items():
+            twin = list(
+                s for s in restored.sites.values()
+                if s.block_id == site.block_id
+            )[0]
+            assert int(twin.descriptor()) == int(site.descriptor())
+
+
+class TestDiff:
+    def test_no_change(self, policy):
+        assert diff_policies(policy, policy) == []
+
+    def test_new_syscall_flagged(self, policy):
+        wider = policy_from_json(policy_to_json(policy))
+        site = next(iter(wider.sites.values()))
+        import dataclasses
+
+        clone = dataclasses.replace(
+            site, syscall="execve", number=11, call_site=0xDEAD,
+            block_id=999, params={},
+        )
+        clone.params.clear()
+        wider.sites[0xDEAD] = clone
+        lines = diff_policies(policy, wider)
+        assert any("+ syscall execve" in line for line in lines)
+
+    def test_dropped_constraint_flagged(self, policy):
+        weaker = policy_from_json(policy_to_json(policy))
+        for site in weaker.sites.values():
+            if site.syscall == "open":
+                site.params.pop(0)
+        lines = diff_policies(policy, weaker)
+        assert any("no longer constrained" in line for line in lines)
+
+    def test_changed_predecessors_flagged(self, policy):
+        shifted = policy_from_json(policy_to_json(policy))
+        for site in shifted.sites.values():
+            if site.syscall == "read":
+                site.predecessors = frozenset({12345})
+        lines = diff_policies(policy, shifted)
+        assert any("predecessor set changed" in line for line in lines)

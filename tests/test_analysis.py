@@ -1,0 +1,92 @@
+"""Table-rendering helpers."""
+
+from repro.analysis import format_table, paper_vs_measured, percent_delta
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["getpid", 1141], ["brk", 1155]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "getpid" in lines[2]
+        assert len({line.index("1") for line in lines[2:]}) == 1  # aligned column
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 4")
+        assert text.splitlines()[0] == "Table 4"
+
+    def test_none_renders_dash(self):
+        assert "-" in format_table(["a"], [[None]])
+
+    def test_float_formatting(self):
+        assert "1.41" in format_table(["pct"], [[1.4100001]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestDeltas:
+    def test_percent_delta(self):
+        assert percent_delta(110, 100) == 10.0
+        assert percent_delta(90, 100) == -10.0
+        assert percent_delta(5, 0) is None
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured(
+            "Check", ["metric"], [("overhead", 0.96, 1.10), ("syscalls", "n/a", 12)]
+        )
+        assert "+14.6%" in text
+        assert "overhead" in text
+
+
+class TestStats:
+    def test_trimmed_mean_drops_tails(self):
+        from repro.analysis import trimmed_mean
+
+        samples = [100, 1, 2, 3, 4, 0]
+        assert trimmed_mean(samples) == (1 + 2 + 3 + 4) / 4
+
+    def test_trimmed_mean_validation(self):
+        import pytest
+        from repro.analysis import trimmed_mean
+
+        with pytest.raises(ValueError):
+            trimmed_mean([1, 2], trim=1)
+        with pytest.raises(ValueError):
+            trimmed_mean([1, 2, 3], trim=-1)
+
+    def test_paper_table4_aggregate(self):
+        import pytest
+        from repro.analysis import paper_table4_aggregate
+
+        samples = [5.0] * 10 + [99.0, 0.0]
+        assert paper_table4_aggregate(samples) == 5.0
+        with pytest.raises(ValueError):
+            paper_table4_aggregate([1.0] * 10)
+
+    def test_sample_stddev(self):
+        import pytest
+        from repro.analysis import sample_stddev
+
+        assert sample_stddev([5.0]) == 0.0
+        assert sample_stddev([2.0, 4.0]) == pytest.approx(1.4142, abs=1e-3)
+        assert sample_stddev([3.0, 3.0, 3.0]) == 0.0
+
+    def test_overhead_percent(self):
+        import pytest
+        from repro.analysis import overhead_percent
+
+        assert overhead_percent(259.66, 262.14) == pytest.approx(0.955, abs=1e-3)
+        with pytest.raises(ValueError):
+            overhead_percent(0, 1)
+
+    def test_geometric_mean(self):
+        import pytest
+        from repro.analysis import geometric_mean
+
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

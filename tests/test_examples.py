@@ -1,0 +1,45 @@
+"""The shipped examples must run clean (they are executable docs)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "attack_demo",
+    "extensions_tour",
+    "protected_system",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"])
+    runpy.run_path(f"examples/{name}.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+@pytest.mark.slow
+def test_policy_comparison_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["policy_comparison.py"])
+    runpy.run_path("examples/policy_comparison.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Table 2" in out
+
+
+def test_quickstart_shows_fail_stop(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "killed: True" in out
+    assert "call MAC mismatch" in out
+
+
+def test_attack_demo_outcomes(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["attack_demo.py"])
+    runpy.run_path("examples/attack_demo.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "6/7 attacks blocked" in out

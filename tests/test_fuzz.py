@@ -1,0 +1,163 @@
+"""Fuzzing the trust boundaries.
+
+The kernel-side checker processes attacker-controlled memory; the
+paper's design requires that *nothing* a guest does can break the
+kernel — at worst the process is fail-stopped.  These tests throw
+garbage at each boundary and assert that only the documented,
+well-typed outcomes occur (never an unhandled Python exception).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import AsmError, AsmSyntaxError, assemble
+from repro.binfmt import BinaryFormatError, SefBinary
+from repro.cpu import ExecutionFault, Memory, PROT_EXEC, PROT_READ, PROT_WRITE, VM
+from repro.crypto import Key
+from repro.kernel import Kernel
+
+KEY = Key.from_passphrase("fuzz", provider="fast-hmac")
+
+
+class TestVmFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(code=st.binary(min_size=8, max_size=256))
+    def test_random_code_faults_cleanly(self, code):
+        """Arbitrary bytes as .text: the VM either runs to a HALT/exit
+        or raises ExecutionFault — never anything else."""
+        memory = Memory()
+        memory.map_region(
+            0x1000, max(len(code), 16) + 16,
+            PROT_READ | PROT_WRITE | PROT_EXEC, data=code, name="fuzz",
+        )
+        kernel = Kernel(key=KEY)
+        vm = VM(memory=memory, entry=0x1000, trap_handler=kernel)
+        kernel._vm_process[id(vm)] = kernel.load(
+            _trivial_binary()
+        )[0]  # give traps a process to charge
+        try:
+            vm.run(max_instructions=2000)
+        except ExecutionFault:
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        regs=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=16, max_size=16,
+        )
+    )
+    def test_hostile_asys_registers_fail_stop(self, regs):
+        """ASYS with arbitrary register contents (random record pointer,
+        random syscall number) must fail-stop, not crash the kernel."""
+        source = ".section .text\n_start:\n    asys\n    halt\n"
+        kernel = Kernel(key=KEY)
+        process, vm = kernel.load(assemble(source, metadata={"program": "hostile"}))
+        process.authenticated = True
+        vm.regs[:] = [r & 0xFFFFFFFF for r in regs]
+        vm.pc = kernel.load(assemble(source))[1].pc  # entry unchanged
+        try:
+            vm.run(max_instructions=100)
+        except ExecutionFault:
+            return
+        assert vm.killed
+
+    @settings(max_examples=25, deadline=None)
+    @given(record=st.binary(min_size=0, max_size=64))
+    def test_hostile_record_contents_fail_stop(self, record):
+        """A forged record placed in guest memory and pointed at by r7
+        is rejected by the MAC (or faults cleanly on truncation)."""
+        source = ".section .text\n_start:\n    li r0, 20\n    li r7, rec\n    asys\n    halt\n"
+        source += ".section .data\nrec:\n    .space 96\n"
+        kernel = Kernel(key=KEY)
+        binary = assemble(source, metadata={"program": "forged"})
+        process, vm = kernel.load(binary)
+        process.authenticated = True
+        from repro.binfmt import link
+
+        rec = link(binary).address_of("rec")
+        vm.memory.write(rec, record, force=True)
+        try:
+            vm.run(max_instructions=100)
+        except ExecutionFault:
+            return
+        assert vm.killed
+
+
+def _trivial_binary():
+    return assemble(".section .text\n_start:\n    halt\n")
+
+
+class TestParserFuzz:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(text=st.text(max_size=200))
+    def test_assembler_never_crashes(self, text):
+        try:
+            assemble(text)
+        except (AsmSyntaxError, AsmError, BinaryFormatError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lines=st.lists(
+            st.sampled_from([
+                ".section .text", ".section .data", "_start:", "x:",
+                "li r1, 5", "add r1, r2, r3", "jmp x", "sys", "halt",
+                ".word x", ".byte 1", ".asciz \"s\"", "ld r1, [sp+4]",
+                ".equ K, 3", "li r2, K", "call x", "ret",
+            ]),
+            max_size=20,
+        )
+    )
+    def test_structured_fragments(self, lines):
+        try:
+            assemble("\n".join(lines))
+        except (AsmSyntaxError, AsmError, BinaryFormatError):
+            pass
+
+
+class TestBinaryFormatFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(max_size=200))
+    def test_random_bytes_rejected_cleanly(self, data):
+        try:
+            SefBinary.from_bytes(data)
+        except (BinaryFormatError, IndexError):
+            # struct.unpack_from on truncated input surfaces as an
+            # error; the loader path (kernel.execve) maps any parse
+            # failure to EACCES.
+            pass
+        except Exception as err:
+            import struct
+
+            assert isinstance(err, struct.error), err
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        flip=st.integers(min_value=0, max_value=100_000),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    def test_mutated_valid_binary(self, flip, value):
+        """Bit-flipped serialized binaries parse or fail cleanly; if
+        they parse, the kernel refuses or fail-stops rather than
+        crashing."""
+        import struct as struct_module
+
+        base = bytearray(
+            assemble(
+                ".section .text\n_start:\n    li r0, 1\n    li r1, 0\n    sys\n"
+            ).to_bytes()
+        )
+        base[flip % len(base)] ^= value or 0x01
+        try:
+            binary = SefBinary.from_bytes(bytes(base))
+        except (BinaryFormatError, IndexError, UnicodeDecodeError,
+                struct_module.error, ValueError):
+            return
+        kernel = Kernel(key=KEY)
+        try:
+            kernel.run(binary, max_instructions=1000)
+        except (ExecutionFault, BinaryFormatError, ValueError):
+            pass

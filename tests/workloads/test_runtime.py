@@ -1,0 +1,151 @@
+"""Runtime (mini-libc) generation and OS personalities."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.kernel import Kernel
+from repro.kernel.syscalls import SYSCALL_NUMBERS
+from repro.workloads.runtime import PERSONALITIES, runtime_source, stub_label
+
+
+class TestStubGeneration:
+    def test_all_syscalls_have_stubs(self):
+        source = runtime_source("linux")
+        for name in SYSCALL_NUMBERS:
+            assert f"{stub_label(name)}:" in source
+
+    def test_subset_selection(self):
+        source = runtime_source("linux", ("read", "write"))
+        assert "sys_read:" in source
+        assert "sys_write:" in source
+        assert "sys_getpid:" not in source
+
+    def test_stub_label_for_dunder(self):
+        assert stub_label("__syscall") == "sys_syscall"
+
+    def test_unknown_personality_rejected(self):
+        with pytest.raises(ValueError):
+            runtime_source("plan9")
+
+    def test_personalities_exported(self):
+        assert PERSONALITIES == ("linux", "openbsd")
+
+
+class TestHelperRoutines:
+    def _run(self, body, data=""):
+        source = (
+            ".section .text\n.global _start\n_start:\n"
+            + body
+            + "\n    halt\n"
+            + data
+            + runtime_source("linux", ("exit",))
+        )
+        vm = Kernel().run(assemble(source))
+        return vm
+
+    def test_strlen(self):
+        result = self._run(
+            "    li r1, s\n    call rt_strlen\n    mov r1, r0",
+            '.section .rodata\ns:\n    .asciz "four"\n',
+        )
+        assert result.exit_status == 4
+
+    def test_strcmp_equal_and_ordering(self):
+        result = self._run(
+            """
+    li r1, a
+    li r2, b
+    call rt_strcmp
+    cmpi r0, 0
+    blt less
+    li r1, 99
+    jmp out
+less:
+    li r1, 1
+out:
+""",
+            '.section .rodata\na:\n    .asciz "apple"\nb:\n    .asciz "beta"\n',
+        )
+        assert result.exit_status == 1
+
+    def test_memcpy_and_memset(self):
+        result = self._run(
+            """
+    li r1, dst
+    li r2, 0x55
+    li r3, 4
+    call rt_memset
+    li r1, dst
+    li r2, src
+    li r3, 2
+    call rt_memcpy
+    li r9, dst
+    ldb r1, [r9+0]
+    ldb r2, [r9+2]
+    add r1, r1, r2
+""",
+            '.section .rodata\nsrc:\n    .asciz "AB"\n'
+            ".section .data\ndst:\n    .space 8\n",
+        )
+        # dst = 'A', 'B', 0x55, 0x55 -> r1 = ord('A') + 0x55
+        assert result.exit_status == (ord("A") + 0x55) & 0xFF
+
+    def test_strcpy_returns_length(self):
+        result = self._run(
+            "    li r1, dst\n    li r2, src\n    call rt_strcpy\n    mov r1, r0",
+            '.section .rodata\nsrc:\n    .asciz "hello"\n'
+            ".section .data\ndst:\n    .space 16\n",
+        )
+        assert result.exit_status == 5
+
+
+class TestOpenbsdPersonality:
+    def test_mmap_shifts_through_indirection(self):
+        source = """
+.section .text
+.global _start
+_start:
+    li r1, 0
+    li r2, 8192
+    li r3, 3
+    li r4, 0x22
+    li r5, 0xFFFFFFFF
+    call sys_mmap
+    ; the returned mapping must be writable
+    mov r14, r0
+    li r9, 7
+    st r9, [r14+0]
+    ld r1, [r14+0]
+    call sys_exit
+""" + runtime_source("openbsd", ("mmap", "exit"))
+        result = Kernel().run(assemble(source))
+        assert result.exit_status == 7
+
+    def test_openbsd_close_still_works_at_runtime(self):
+        # The disassembler cannot identify it, but the call itself is
+        # perfectly functional (which is why Systrace observes it).
+        source = """
+.section .text
+.global _start
+_start:
+    li r1, path
+    li r2, 0x42
+    li r3, 0x1a4
+    call sys_open
+    mov r14, r0
+    mov r1, r14
+    call sys_close
+    mov r1, r14
+    call sys_close
+    ; second close fails with EBADF: proves the first one worked
+    xori r1, r0, 0xFFFFFFFF
+    addi r1, r1, 1
+    call sys_exit
+.section .rodata
+path:
+    .asciz "/tmp/x"
+""" + runtime_source("openbsd", ("open", "close", "exit"))
+        result = Kernel().run(assemble(source))
+        from repro.kernel.errors import Errno
+
+        assert result.exit_status == int(Errno.EBADF)
