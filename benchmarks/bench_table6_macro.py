@@ -1,9 +1,11 @@
 """Tables 5 and 6: whole-program overhead of authenticated calls.
 
-Each program in the Table 5 suite runs twice — as a PLTO-processed
-unauthenticated binary (the paper's baseline) and as a fully installed
-binary with the complete policy set *including control flow* — and the
-overhead percentage is compared with Table 6.
+Each program in the Table 5 suite runs three times — as a
+PLTO-processed unauthenticated binary (the paper's baseline), as a
+fully installed binary on a ``--no-fastpath`` kernel (every trap pays
+the full CMAC — the paper's configuration, compared against Table 6),
+and as the same installed binary on the default kernel where the
+per-site verification cache absorbs the steady-state call-MAC work.
 
 Times are reported in scaled seconds (2.4e6 cycles per second; see
 repro.workloads.spec).  The runs are deterministic, so the paper's
@@ -43,13 +45,15 @@ def _baseline(binary):
     return reassemble(unit)
 
 
-def _run_program(name: str, authenticated: bool, iterations: int) -> float:
+def _run_program(
+    name: str, authenticated: bool, iterations: int, fastpath: bool = True
+) -> float:
     binary = build_spec_program(name, iterations=iterations)
     if authenticated:
         binary = install(binary, BENCH_KEY).binary
     else:
         binary = _baseline(binary)
-    kernel = Kernel(key=BENCH_KEY)
+    kernel = Kernel(key=BENCH_KEY, fastpath=fastpath)
     result = kernel.run(binary, argv=[name], max_instructions=500_000_000)
     assert result.ok, (name, result.kill_reason)
     return result.cycles
@@ -65,8 +69,9 @@ def test_table5_table6_macro(benchmark, report):
             planned, _ = program.plan()
             iterations = max(2, int(planned * scale))
             base = _run_program(name, False, iterations)
-            auth = _run_program(name, True, iterations)
-            measured[name] = (base, auth, iterations)
+            cold = _run_program(name, True, iterations, fastpath=False)
+            fast = _run_program(name, True, iterations, fastpath=True)
+            measured[name] = (base, cold, fast, iterations)
         return measured
 
     measured = benchmark.pedantic(run_suite, rounds=1, iterations=1)
@@ -84,31 +89,37 @@ def test_table5_table6_macro(benchmark, report):
     # Table 6: overheads.
     rows = []
     for name, (paper_orig, paper_auth, paper_ovh) in PAPER.items():
-        base, auth, iterations = measured[name]
+        base, cold, fast, iterations = measured[name]
         base_secs = base / CYCLES_PER_SCALED_SECOND / scale
-        auth_secs = auth / CYCLES_PER_SCALED_SECOND / scale
-        overhead = 100.0 * (auth - base) / base
+        cold_secs = cold / CYCLES_PER_SCALED_SECOND / scale
+        fast_secs = fast / CYCLES_PER_SCALED_SECOND / scale
+        cold_overhead = 100.0 * (cold - base) / base
+        fast_overhead = 100.0 * (fast - base) / base
         rows.append([
             name,
             paper_orig, round(base_secs, 2),
-            paper_auth, round(auth_secs, 2),
-            f"{paper_ovh:.2f}%", f"{overhead:.2f}%",
+            paper_auth, round(cold_secs, 2), round(fast_secs, 2),
+            f"{paper_ovh:.2f}%", f"{cold_overhead:.2f}%",
+            f"{fast_overhead:.2f}%",
         ])
     table6 = format_table(
         ["Program", "orig(paper)", "orig(ours)", "auth(paper)",
-         "auth(ours)", "ovh(paper)", "ovh(ours)"],
+         "auth(cold)", "auth(cached)", "ovh(paper)", "ovh(cold)",
+         "ovh(cached)"],
         rows,
-        title="Table 6: performance overhead (scaled seconds; "
+        title="Table 6: performance overhead (scaled seconds; cold = "
+              "--no-fastpath, cached = per-site verification cache; "
               "deterministic, std.dev = 0)",
     )
     report("table5_table6_macro", table5 + "\n\n" + table6)
 
-    # Shape assertions: overheads are modest (< 12%), pyramid is the
+    # Shape assertions against the *cold* run (the paper's
+    # configuration): overheads are modest (< 12%), pyramid is the
     # clear outlier exactly as in the paper, and CPU-bound programs sit
     # in the ~1-2% band.
     overheads = {
-        name: 100.0 * (auth - base) / base
-        for name, (base, auth, _) in measured.items()
+        name: 100.0 * (cold - base) / base
+        for name, (base, cold, _, _) in measured.items()
     }
     assert max(overheads.values()) == overheads["pyramid"]
     assert overheads["pyramid"] > 3 * overheads["mcf"]
@@ -119,3 +130,17 @@ def test_table5_table6_macro(benchmark, report):
     # Within a factor-of-two band of the paper's per-program overheads.
     for name, (_, _, paper_ovh) in PAPER.items():
         assert overheads[name] == pytest.approx(paper_ovh, rel=1.0), name
+
+    # Fast path: caching must never be a pessimization anywhere, and
+    # for the syscall-heavy outlier it must recover a meaningful slice
+    # of the authentication overhead.  The macro suite installs *with*
+    # control flow, whose counter-dependent state MACs are uncacheable
+    # by construction (DESIGN.md), so unlike Table 4's >=3x surcharge
+    # reduction the recoverable fraction here is bounded by the
+    # call-MAC share of the per-trap cost.
+    for name, (base, cold, fast, _) in measured.items():
+        assert fast <= cold, (name, base, cold, fast)
+        assert fast > base, (name, base, cold, fast)
+    base, cold, fast, _ = measured["pyramid"]
+    recovered = (cold - fast) / (cold - base)
+    assert recovered >= 0.2, (base, cold, fast, recovered)

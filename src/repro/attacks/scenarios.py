@@ -62,8 +62,8 @@ msg:
     return assemble(source, metadata={"program": "marker"}).to_bytes()
 
 
-def _prepare_kernel(key: Key) -> Kernel:
-    kernel = Kernel(key=key, mode=EnforcementMode.PERMISSIVE)
+def _prepare_kernel(key: Key, fastpath: bool = True) -> Kernel:
+    kernel = Kernel(key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath)
     kernel.vfs.write_file("/bin/sh", _marker_program(_SH_MARKER))
     kernel.vfs.write_file("/bin/ls", _marker_program(_LS_MARKER))
     kernel.vfs.write_file("/etc/motd", b"hello\n")
@@ -99,8 +99,9 @@ def _run_with_payload(
     installed: InstalledProgram,
     payload: bytes,
     mutate: Optional[Callable[[Kernel, VM], None]] = None,
+    fastpath: bool = True,
 ):
-    kernel = _prepare_kernel(key)
+    kernel = _prepare_kernel(key, fastpath=fastpath)
     process, vm = kernel.load(installed.binary, stdin=payload)
     if mutate:
         mutate(kernel, vm)
@@ -117,7 +118,9 @@ def _encode(instructions) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def shellcode_attack(key: Optional[Key] = None) -> AttackResult:
+def shellcode_attack(
+    key: Optional[Key] = None, fastpath: bool = True
+) -> AttackResult:
     """Overflow the buffer, run injected code that issues a raw
     execve("/bin/sh") system call."""
     key = key or Key.generate()
@@ -138,7 +141,9 @@ def shellcode_attack(key: Optional[Key] = None) -> AttackResult:
     payload = code.ljust(48, b"\x00") + b"/bin/sh\x00".ljust(16, b"\x00")
     payload += struct.pack("<I", buffer_address)  # smashed return address
 
-    kernel, process, vm = _run_with_payload(key, installed, payload)
+    kernel, process, vm = _run_with_payload(
+        key, installed, payload, fastpath=fastpath
+    )
     return AttackResult(
         name="shellcode",
         blocked=vm.killed,
@@ -153,7 +158,11 @@ def shellcode_attack(key: Optional[Key] = None) -> AttackResult:
 # ---------------------------------------------------------------------------
 
 
-def mimicry_attack(key: Optional[Key] = None, variant: str = "call-graph") -> AttackResult:
+def mimicry_attack(
+    key: Optional[Key] = None,
+    variant: str = "call-graph",
+    fastpath: bool = True,
+) -> AttackResult:
     """Reuse the victim's *authenticated* execve call out of context.
 
     ``call-graph``: jump straight to the genuine call site (skipping
@@ -194,7 +203,9 @@ def mimicry_attack(key: Optional[Key] = None, variant: str = "call-graph") -> At
         detail = "issued ASYS from injected code with a stolen record"
 
     payload = code.ljust(BUFFER_SIZE, b"\x00") + struct.pack("<I", buffer_address)
-    kernel, process, vm = _run_with_payload(key, installed, payload)
+    kernel, process, vm = _run_with_payload(
+        key, installed, payload, fastpath=fastpath
+    )
     return AttackResult(
         name=f"mimicry/{variant}",
         blocked=vm.killed,
@@ -209,7 +220,9 @@ def mimicry_attack(key: Optional[Key] = None, variant: str = "call-graph") -> At
 # ---------------------------------------------------------------------------
 
 
-def non_control_data_attack(key: Optional[Key] = None) -> AttackResult:
+def non_control_data_attack(
+    key: Optional[Key] = None, fastpath: bool = True
+) -> AttackResult:
     """Swap the constant "/bin/ls" for "/bin/sh" in memory.
 
     Models an arbitrary-write primitive (Chen et al.'s non-control-data
@@ -223,7 +236,7 @@ def non_control_data_attack(key: Optional[Key] = None) -> AttackResult:
         vm.memory.write(exec_path, b"/bin/sh", force=True)
 
     kernel, process, vm = _run_with_payload(
-        key, installed, b"/etc/motd\x00", mutate=corrupt
+        key, installed, b"/etc/motd\x00", mutate=corrupt, fastpath=fastpath
     )
     return AttackResult(
         name="non-control-data",
@@ -240,7 +253,7 @@ def non_control_data_attack(key: Optional[Key] = None) -> AttackResult:
 
 
 def frankenstein_attack(
-    key: Optional[Key] = None, defense: bool = True
+    key: Optional[Key] = None, defense: bool = True, fastpath: bool = True
 ) -> AttackResult:
     """Transplant program B's authenticated execve (of /bin/sh) into
     program A.  Both programs are legitimately installed on the same
@@ -279,7 +292,7 @@ def frankenstein_attack(
             vm.memory.write(address, blob, force=True)
 
     kernel, process, vm = _run_with_payload(
-        key, installed_a, b"/etc/motd\x00", mutate=transplant
+        key, installed_a, b"/etc/motd\x00", mutate=transplant, fastpath=fastpath
     )
     spawned_shell = _SH_MARKER in process.stdout
     return AttackResult(
@@ -299,7 +312,9 @@ def frankenstein_attack(
 # ---------------------------------------------------------------------------
 
 
-def replay_attack(key: Optional[Key] = None) -> AttackResult:
+def replay_attack(
+    key: Optional[Key] = None, fastpath: bool = True
+) -> AttackResult:
     """Snapshot lastBlock/lbMAC *before* the open executes; let the
     open run (advancing the kernel counter); then restore the stale
     snapshot and re-enter the open site.  lastBlock = "after read"
@@ -308,7 +323,7 @@ def replay_attack(key: Optional[Key] = None) -> AttackResult:
     counter and fail-stops instead."""
     key = key or Key.generate()
     installed = _install_victim(key)
-    kernel = _prepare_kernel(key)
+    kernel = _prepare_kernel(key, fastpath=fastpath)
     process, vm = kernel.load(installed.binary, stdin=b"/etc/motd\x00")
 
     image = link(installed.binary)
@@ -346,15 +361,21 @@ def replay_attack(key: Optional[Key] = None) -> AttackResult:
     )
 
 
-def run_all_attacks(key: Optional[Key] = None) -> list[AttackResult]:
-    """The full §4.1 + §5.5 battery."""
+def run_all_attacks(
+    key: Optional[Key] = None, fastpath: bool = True
+) -> list[AttackResult]:
+    """The full §4.1 + §5.5 battery.
+
+    ``fastpath=False`` runs every scenario on a ``--no-fastpath``
+    kernel; the outcomes must be identical — the verification cache is
+    an optimization, never a policy change."""
     key = key or Key.generate()
     return [
-        shellcode_attack(key),
-        mimicry_attack(key, "call-graph"),
-        mimicry_attack(key, "call-site"),
-        non_control_data_attack(key),
-        frankenstein_attack(key, defense=True),
-        frankenstein_attack(key, defense=False),
-        replay_attack(key),
+        shellcode_attack(key, fastpath=fastpath),
+        mimicry_attack(key, "call-graph", fastpath=fastpath),
+        mimicry_attack(key, "call-site", fastpath=fastpath),
+        non_control_data_attack(key, fastpath=fastpath),
+        frankenstein_attack(key, defense=True, fastpath=fastpath),
+        frankenstein_attack(key, defense=False, fastpath=fastpath),
+        replay_attack(key, fastpath=fastpath),
     ]

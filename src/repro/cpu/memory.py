@@ -34,6 +34,11 @@ class Region:
     data: bytearray
     prot: int
     name: str = ""
+    #: Monotonic write counter.  Every mutation of ``data`` (stores,
+    #: forced kernel writes, brk growth) bumps it, which lets callers
+    #: memoize *reads* of this region and detect staleness exactly —
+    #: the kernel's authenticated-string parse cache relies on this.
+    version: int = 0
 
     @property
     def end(self) -> int:
@@ -97,6 +102,7 @@ class Memory:
     def grow_region(self, name: str, new_size: int) -> None:
         """Extend a region in place (used by ``brk``)."""
         region = self.find_region(name)
+        region.version += 1
         if new_size < len(region.data):
             del region.data[new_size:]
             return
@@ -131,6 +137,7 @@ class Memory:
             self._check(region, PROT_WRITE, address)
         offset = address - region.start
         region.data[offset : offset + len(data)] = data
+        region.version += 1
 
     def read_u32(self, address: int, force: bool = False) -> int:
         return struct.unpack("<I", self.read(address, 4, force))[0]

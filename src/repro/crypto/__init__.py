@@ -18,18 +18,20 @@ pure-Python equivalent:
   kernel, never to applications).
 """
 
-from repro.crypto.aes import AES
-from repro.crypto.cmac import AesCmac, MAC_SIZE
+from repro.crypto.aes import AES, TableAES
+from repro.crypto.cmac import AesCmac, CmacState, MAC_SIZE
 from repro.crypto.fastmac import FastMac
 from repro.crypto.keyring import Key, KeyRing, MacProvider, mac_provider_for_key
 
 __all__ = [
     "AES",
     "AesCmac",
+    "CmacState",
     "FastMac",
     "Key",
     "KeyRing",
     "MAC_SIZE",
     "MacProvider",
+    "TableAES",
     "mac_provider_for_key",
 ]

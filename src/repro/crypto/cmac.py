@@ -4,11 +4,23 @@ The paper uses "AES-CBC-OMAC" [Iwata & Kurosawa 2002], which produces a
 128-bit message authentication code; OMAC1 was later standardised as
 CMAC (RFC 4493, NIST SP 800-38B).  The unit tests check the RFC 4493
 vectors, so this implementation is interoperable with any standard CMAC.
+
+Two ways to MAC:
+
+- :meth:`AesCmac.tag` is the one-shot reference path.
+- :class:`CmacState` (via :meth:`AesCmac.prefix`) is the incremental
+  API: absorb a message prefix once, then finalize it many times with
+  different suffixes.  Repeated MACs over the same leading bytes skip
+  re-encrypting those blocks, which is what the installer and the
+  kernel fast path exploit for policy-section strings whose encoded
+  prefixes are immutable.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+from typing import Optional
+
+from repro.crypto.aes import AES, BLOCK_SIZE, TableAES
 
 MAC_SIZE = 16
 
@@ -37,12 +49,16 @@ class AesCmac:
     True
     >>> mac.verify(b"hellp", tag)
     False
+
+    The block cipher defaults to the table-driven :class:`TableAES`;
+    pass ``cipher=AES(key)`` to run over the byte-cell reference
+    implementation instead (the equivalence tests do exactly that).
     """
 
     name = "aes-cmac"
 
-    def __init__(self, key: bytes):
-        self._aes = AES(key)
+    def __init__(self, key: bytes, cipher: Optional[AES] = None):
+        self._aes = cipher if cipher is not None else TableAES(key)
         zero = self._aes.encrypt_block(bytes(BLOCK_SIZE))
         self._k1 = _dbl(zero)
         self._k2 = _dbl(self._k1)
@@ -67,6 +83,70 @@ class AesCmac:
     def verify(self, message: bytes, tag: bytes) -> bool:
         """Constant-time-style comparison of the expected tag."""
         expected = self.tag(message)
+        if len(tag) != MAC_SIZE:
+            return False
+        diff = 0
+        for x, y in zip(expected, tag):
+            diff |= x ^ y
+        return diff == 0
+
+    def prefix(self, prefix: bytes = b"") -> "CmacState":
+        """Absorb ``prefix`` into a reusable incremental state."""
+        return CmacState(self).update(prefix)
+
+
+class CmacState:
+    """Incremental CMAC state: update with chunks, finalize many times.
+
+    The trailing 1..16 bytes are buffered rather than compressed, since
+    OMAC1 masks the *final* block with K1/K2 and which block is final is
+    unknown until finalization.  ``tag`` therefore never consumes the
+    state: one absorbed prefix can be finalized against any number of
+    suffixes, each costing only the suffix's blocks plus one final
+    encryption.
+    """
+
+    __slots__ = ("_mac", "_state", "_buffer")
+
+    def __init__(self, mac: AesCmac, state: bytes = b"", buffer: bytes = b""):
+        self._mac = mac
+        self._state = state or bytes(BLOCK_SIZE)
+        self._buffer = buffer
+
+    def update(self, data: bytes) -> "CmacState":
+        """Absorb ``data``; compresses every block that is certain not
+        to be the message's last.  Returns ``self`` for chaining."""
+        if not data:
+            return self
+        buf = self._buffer + data
+        keep = len(buf) % BLOCK_SIZE or BLOCK_SIZE
+        state = self._state
+        encrypt = self._mac._aes.encrypt_block
+        for i in range(0, len(buf) - keep, BLOCK_SIZE):
+            state = encrypt(_xor(state, buf[i : i + BLOCK_SIZE]))
+        self._state = state
+        self._buffer = buf[len(buf) - keep :]
+        return self
+
+    def copy(self) -> "CmacState":
+        return CmacState(self._mac, self._state, self._buffer)
+
+    def tag(self, suffix: bytes = b"") -> bytes:
+        """Tag of everything absorbed so far plus ``suffix``, without
+        mutating this state."""
+        if suffix:
+            return self.copy().update(suffix).tag()
+        mac = self._mac
+        buf = self._buffer
+        if len(buf) == BLOCK_SIZE:
+            last = _xor(buf, mac._k1)
+        else:
+            padded = buf + b"\x80" + bytes(BLOCK_SIZE - len(buf) - 1)
+            last = _xor(padded, mac._k2)
+        return mac._aes.encrypt_block(_xor(self._state, last))
+
+    def verify(self, tag: bytes, suffix: bytes = b"") -> bool:
+        expected = self.tag(suffix)
         if len(tag) != MAC_SIZE:
             return False
         diff = 0

@@ -16,10 +16,15 @@ Stands in for the paper's modified Linux kernel.  The pieces:
 - :mod:`repro.kernel.costs` -- the deterministic cycle-cost model,
   calibrated so unmodified system calls reproduce Table 4's baseline
   column.
+- :mod:`repro.kernel.authcache` -- the per-process verification fast
+  path (cached call-MAC checks; see DESIGN.md "Performance
+  architecture").
 """
 
 from repro.kernel.errors import Errno
 from repro.kernel.vfs import Vfs, VfsError
+from repro.kernel.audit import FastPathStats
+from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
 from repro.kernel.kernel import EnforcementMode, Kernel, RunResult
 
@@ -27,8 +32,10 @@ __all__ = [
     "CostModel",
     "EnforcementMode",
     "Errno",
+    "FastPathStats",
     "Kernel",
     "RunResult",
+    "VerifiedSiteCache",
     "Vfs",
     "VfsError",
 ]

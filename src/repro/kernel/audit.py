@@ -28,8 +28,44 @@ class AuditEvent:
 
 
 @dataclass
+class FastPathStats:
+    """Machine-wide verification fast-path counters.
+
+    ``hits``/``misses`` count per-site call-MAC cache probes (a miss
+    includes both cold sites and tampered re-probes that fell back to
+    the full CMAC); ``invalidations`` counts cache entries dropped at
+    process exit/exec.  Benchmarks and the audit trail use these to
+    report fast-path coverage alongside the timing tables.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def render(self) -> str:
+        return (
+            f"fastpath: {self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate():.1f}% hit rate), "
+            f"{self.invalidations} entries invalidated"
+        )
+
+
+@dataclass
 class AuditLog:
     events: list[AuditEvent] = field(default_factory=list)
+    fastpath: FastPathStats = field(default_factory=FastPathStats)
 
     def record(self, event: AuditEvent) -> None:
         self.events.append(event)
@@ -42,6 +78,7 @@ class AuditLog:
 
     def clear(self) -> None:
         self.events.clear()
+        self.fastpath.reset()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -26,6 +26,7 @@ from typing import Optional
 from repro.cpu.memory import MemoryFault
 from repro.cpu.vm import VM
 from repro.crypto import MacProvider
+from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel, mac_blocks
 from repro.kernel.process import Process
 from repro.policy.authstrings import read_authenticated_string
@@ -70,6 +71,15 @@ class CheckResult:
     #: bitmask and the permitted producing-site block ids.
     fd_mask: int = 0
     fd_allowed: frozenset = frozenset()
+    #: Fast-path accounting: call-MAC cache probes this check resolved
+    #: as hits/misses (0/0 when the kernel runs with fastpath disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def fastpath(self) -> bool:
+        """True iff the call MAC was satisfied by the per-site cache."""
+        return self.cache_hits > 0
 
 
 class AuthChecker:
@@ -81,15 +91,25 @@ class AuthChecker:
 
     # -- the three checks of §3.4 ---------------------------------------
 
-    def check(self, vm: VM, process: Process) -> CheckResult:
+    def check(
+        self,
+        vm: VM,
+        process: Process,
+        cache: Optional[VerifiedSiteCache] = None,
+    ) -> CheckResult:
         """Validate the ASYS trap currently pending on ``vm``.
 
-        Raises :class:`AuthViolation` if any check fails."""
+        ``cache`` (when the kernel enables the fast path) may satisfy
+        the call-MAC comparison from a previously verified trap at the
+        same site; everything counter-dependent and every string-content
+        MAC is still checked in full.  Raises :class:`AuthViolation` if
+        any check fails."""
         blocks = 0
         memory = vm.memory
         syscall_number = vm.regs[0]
         call_site = vm.pc
         record_ptr = vm.regs[7]
+        read_as = cache.read_as if cache is not None else read_authenticated_string
 
         try:
             record = read_auth_record(memory, record_ptr)
@@ -112,7 +132,7 @@ class AuthChecker:
                         pattern_cursor += 1
                     else:
                         address = vm.regs[1 + index]
-                    auth_string = read_authenticated_string(memory, address)
+                    auth_string = read_as(memory, address)
                     params.append(
                         ParamEncoding.auth_string(
                             index, address, auth_string.length, auth_string.mac
@@ -125,7 +145,7 @@ class AuthChecker:
             predset_triple = None
             predset_as = None
             if descriptor.control_flow_constrained:
-                predset_as = read_authenticated_string(memory, record.predset_ptr)
+                predset_as = read_as(memory, record.predset_ptr)
                 predset_triple = (
                     record.predset_ptr,
                     predset_as.length,
@@ -135,7 +155,7 @@ class AuthChecker:
             capability_spec = None
             fd_allowed_as = None
             if descriptor.capability_tracked:
-                fd_allowed_as = read_authenticated_string(memory, record.fd_allowed_ptr)
+                fd_allowed_as = read_as(memory, record.fd_allowed_ptr)
                 capability_spec = (
                     record.fd_mask,
                     (record.fd_allowed_ptr, fd_allowed_as.length, fd_allowed_as.mac),
@@ -153,12 +173,27 @@ class AuthChecker:
             lastblock_address=record.lastblock_ptr,
             capability=capability_spec,
         )
-        blocks += mac_blocks(len(encoded_call))
-        if not self._provider.verify(encoded_call, record.call_mac):
-            raise AuthViolation(
-                f"call MAC mismatch for syscall {syscall_number} "
-                f"at {call_site:#010x}"
-            )
+        # Fast path: the encoded call is rebuilt from live state above,
+        # so if it (and the presented MAC) are byte-identical to a pair
+        # that already survived the full CMAC at this site, re-running
+        # the CMAC can only reproduce the same success.
+        cache_hits = 0
+        cache_misses = 0
+        if cache is not None and cache.probe(
+            call_site, descriptor, encoded_call, record.call_mac
+        ):
+            cache_hits = 1
+        else:
+            if cache is not None:
+                cache_misses = 1
+            blocks += mac_blocks(len(encoded_call))
+            if not self._provider.verify(encoded_call, record.call_mac):
+                raise AuthViolation(
+                    f"call MAC mismatch for syscall {syscall_number} "
+                    f"at {call_site:#010x}"
+                )
+            if cache is not None:
+                cache.store(call_site, descriptor, encoded_call, record.call_mac)
 
         # ---- Step 2: verify authenticated string contents ----
         for index, auth_string in string_checks:
@@ -193,7 +228,10 @@ class AuthChecker:
         if descriptor.pattern_params():
             self._check_patterns(vm, descriptor, string_checks, call_site)
 
-        cycles = self._costs.auth_cost_blocks(blocks)
+        if cache_hits:
+            cycles = self._costs.auth_cost_fastpath(blocks, cache_hits)
+        else:
+            cycles = self._costs.auth_cost_blocks(blocks)
         fd_allowed: frozenset = frozenset()
         if fd_allowed_as is not None:
             fd_allowed = unpack_predecessor_set(fd_allowed_as.content)
@@ -205,6 +243,8 @@ class AuthChecker:
             cycles=cycles,
             fd_mask=record.fd_mask,
             fd_allowed=fd_allowed,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     # -- control flow -----------------------------------------------------

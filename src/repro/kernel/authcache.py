@@ -1,0 +1,119 @@
+"""The per-process verification fast path.
+
+The encoded policy of a call site is immutable: it is burned into the
+read-only ``.authdata`` section at install time and covered by the call
+MAC.  Re-running AES-CBC-OMAC over the identical bytes on every trap is
+therefore pure waste — the observation behind SFIP's and SysPart's
+hash-lookup enforcement, and the reason this cache exists.
+
+:class:`VerifiedSiteCache` remembers, per ``(call_site, descriptor)``,
+the exact encoded-call bytes and the call MAC that survived one *full*
+CMAC verification.  On a later trap at the same site the kernel still
+reconstructs the encoded call from the live registers and memory (that
+step is what binds the check to runtime behaviour), but verification
+degenerates to two ``bytes`` comparisons: if the reconstruction and the
+presented MAC are byte-identical to the verified pair, the CMAC would
+necessarily succeed again.  Any divergence — a tampered record, a
+changed argument, a different MAC — simply misses the cache and falls
+through to the full cryptographic check, so a hit can never accept
+anything the slow path would have rejected.
+
+What is deliberately **never** cached:
+
+- the ``lastBlock``/``lbMAC`` state MACs and steps 3–5 of the online
+  memory checker — they mix in the kernel's per-process counter (the
+  replay nonce), so each trap's value is unique by construction;
+- string-argument *content* MACs (step 2) — contents live in attacker-
+  reachable memory and must be re-MAC'd against the authenticated
+  header on every trap, or a post-warm-up overwrite would go unseen;
+- pattern-matched runtime arguments — they are runtime values.
+
+The cache is created per process and discarded on exit/exec; entries
+never migrate between processes.  Parsing (not verifying) of AS headers
+is additionally memoized through a write-version-gated
+:class:`repro.policy.authstrings.CachedASReader`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.memory import Memory
+from repro.policy.authstrings import AuthenticatedString, CachedASReader
+from repro.policy.descriptor import PolicyDescriptor
+
+
+@dataclass(frozen=True)
+class SiteEntry:
+    """One verified (encoded call, call MAC) pair."""
+
+    encoded_call: bytes
+    call_mac: bytes
+
+
+class VerifiedSiteCache:
+    """Per-process cache of fully verified call-MAC checks."""
+
+    #: Site cap; a process has a fixed set of rewritten call sites, so
+    #: overflow indicates pathology and is answered with a full flush.
+    MAX_SITES = 4096
+
+    def __init__(self) -> None:
+        self._sites: dict[tuple[int, int], SiteEntry] = {}
+        self._as_reader = CachedASReader()
+        #: Local counters (the kernel aggregates them into the audit
+        #: log's machine-wide :class:`repro.kernel.audit.FastPathStats`).
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    # -- call-MAC fast path ---------------------------------------------
+
+    def probe(
+        self,
+        call_site: int,
+        descriptor: PolicyDescriptor,
+        encoded_call: bytes,
+        call_mac: bytes,
+    ) -> bool:
+        """True iff this exact (encoded call, MAC) pair was previously
+        verified at this site — i.e. the full CMAC check may be skipped."""
+        entry = self._sites.get((call_site, int(descriptor)))
+        if (
+            entry is not None
+            and entry.encoded_call == encoded_call
+            and entry.call_mac == call_mac
+        ):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def store(
+        self,
+        call_site: int,
+        descriptor: PolicyDescriptor,
+        encoded_call: bytes,
+        call_mac: bytes,
+    ) -> None:
+        """Record a pair that just survived the full CMAC check."""
+        if len(self._sites) >= self.MAX_SITES:
+            self._sites.clear()
+        self._sites[(call_site, int(descriptor))] = SiteEntry(encoded_call, call_mac)
+
+    # -- memoized AS parsing --------------------------------------------
+
+    def read_as(self, memory: Memory, string_address: int) -> AuthenticatedString:
+        """Version-gated memoized AS parse (see CachedASReader)."""
+        return self._as_reader.read(memory, string_address)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop everything (process exit/exec); returns entries dropped."""
+        dropped = len(self._sites) + len(self._as_reader)
+        self._sites.clear()
+        self._as_reader.clear()
+        return dropped

@@ -25,6 +25,7 @@ from repro.cpu.vm import VM, ProcessExit
 from repro.crypto import Key, MacProvider, mac_provider_for_key
 from repro.kernel.audit import AuditEvent, AuditLog
 from repro.kernel.auth import AuthChecker, AuthViolation
+from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
 from repro.kernel.process import Process
 from repro.kernel.syscalls import (
@@ -89,6 +90,7 @@ class Kernel:
         capability_tracking: bool = False,
         cycles_per_second: int = 2_400_000_000,
         nx: bool = False,
+        fastpath: bool = True,
     ):
         self.key = key or Key.generate()
         self.mac: MacProvider = mac_provider_for_key(self.key)
@@ -103,7 +105,12 @@ class Kernel:
         #: NX bit (which is what makes stack shellcode expressible);
         #: enabling it supports the hardware-vs-authentication ablation.
         self.nx = nx
+        #: Verification fast path (per-process VerifiedSiteCache).  Off
+        #: (`fastpath=False`, the benchmarks' --no-fastpath escape
+        #: hatch) every trap pays the full CMAC, as the paper measured.
+        self.fastpath = fastpath
         self._checker = AuthChecker(self.mac, self.costs)
+        self._authcaches: dict[int, VerifiedSiteCache] = {}
         #: Optional syscall tracer (duck-typed: .record(ctx)); used by
         #: the training-based baseline monitors.
         self.tracer = None
@@ -155,6 +162,8 @@ class Kernel:
         vm = VM(memory=memory, entry=image.entry, trap_handler=self, nx=self.nx)
         self._vm_process[id(vm)] = process
         self._capabilities[id(vm)] = CapabilityTable()
+        if self.fastpath:
+            self._authcaches[id(vm)] = VerifiedSiteCache()
         self._setup_argv(vm, argv or [process.name])
         return process, vm
 
@@ -192,6 +201,11 @@ class Kernel:
             self._vm_process.pop(id(vm), None)
             self._capabilities.pop(id(vm), None)
             self._mmap_cursor.pop(id(vm), None)
+            authcache = self._authcaches.pop(id(vm), None)
+            if authcache is not None:
+                # Exit/exec invalidation: cached verifications never
+                # outlive the address space they were observed in.
+                self.audit.fastpath.invalidations += authcache.invalidate()
         return RunResult(
             exit_status=status,
             killed=vm.killed,
@@ -241,12 +255,14 @@ class Kernel:
     def _handle_asys(self, vm: VM, process: Process) -> int:
         """An authenticated ASYS trap: check, then dispatch."""
         try:
-            result = self._checker.check(vm, process)
+            result = self._checker.check(vm, process, self._authcaches.get(id(vm)))
         except AuthViolation as violation:
             number = vm.regs[0]
             name = SYSCALL_NAMES.get(number, f"syscall#{number}")
             self._kill(vm, process, name, violation.reason)
             raise AssertionError("unreachable")  # pragma: no cover
+        self.audit.fastpath.hits += result.cache_hits
+        self.audit.fastpath.misses += result.cache_misses
         if result.fd_mask and self.capability_tracking:
             self._check_capability(vm, process, result)
         cycles = self._dispatch(vm, process, result.syscall_number, result.block_id)

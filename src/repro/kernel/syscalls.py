@@ -673,6 +673,7 @@ def _mmap(ctx: SyscallContext) -> int:
         if description.inode is not None and description.inode.is_file:
             content = bytes(description.inode.data[:size])
             region.data[: len(content)] = content
+            region.version += 1
     return base
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Union
 
 from repro.crypto import MAC_SIZE
@@ -129,7 +130,15 @@ def pack_predecessor_set(block_ids: frozenset[int]) -> bytes:
     return b"".join(struct.pack("<I", b) for b in sorted(block_ids))
 
 
+@lru_cache(maxsize=4096)
 def unpack_predecessor_set(content: bytes) -> frozenset[int]:
+    """Decode the sorted-u32 AS content back into a block-id set.
+
+    Memoized: the kernel decodes the same immutable predecessor-set
+    content on every trap at a control-flow-constrained site, and both
+    the key (``bytes``) and the value (``frozenset``) are immutable, so
+    caching is observationally pure.
+    """
     if len(content) % 4:
         raise EncodeError(f"predecessor set length {len(content)} not a multiple of 4")
     return frozenset(

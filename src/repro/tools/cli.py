@@ -106,6 +106,7 @@ def _cmd_run(args) -> int:
     kernel = Kernel(
         key=_key_from(args),
         mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
+        fastpath=not args.no_fastpath,
     )
     for spec in args.file or []:
         path, _, content = spec.partition("=")
@@ -125,6 +126,7 @@ def _cmd_run(args) -> int:
             f"syscalls={result.syscalls}",
             file=sys.stderr,
         )
+        print(f"[stats] {kernel.audit.fastpath.render()}", file=sys.stderr)
     return result.exit_status
 
 
@@ -237,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--file", action="append",
                      help="pre-populate the VFS: --file /path=content")
     cmd.add_argument("--stats", action="store_true")
+    cmd.add_argument("--no-fastpath", action="store_true",
+                     help="disable the per-site verification cache "
+                          "(every trap pays the full CMAC)")
     cmd.set_defaults(handler=_cmd_run)
 
     cmd = commands.add_parser("attacks", help="run the attack battery")
