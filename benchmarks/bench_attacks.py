@@ -26,9 +26,17 @@ EXPECTED = {
 
 @pytest.mark.benchmark(group="attacks")
 def test_attack_battery(benchmark, report):
-    results = benchmark.pedantic(
-        lambda: run_all_attacks(BENCH_KEY), rounds=1, iterations=1
-    )
+    # The battery runs under both execution engines; the verdicts and
+    # fail-stop reasons are a security property and must not depend on
+    # how the CPU is emulated.
+    def run_both():
+        return {
+            engine: run_all_attacks(BENCH_KEY, engine=engine)
+            for engine in ("interp", "threaded")
+        }
+
+    by_engine = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    results = by_engine["threaded"]
 
     rows = []
     for result in results:
@@ -43,9 +51,15 @@ def test_attack_battery(benchmark, report):
         format_table(
             ["attack", "expected", "measured", "kernel reason"],
             rows,
-            title="§4.1 / §5.5 attack experiments",
+            title="§4.1 / §5.5 attack experiments "
+                  "(identical under both execution engines)",
         ),
     )
 
     for result in results:
         assert result.blocked == EXPECTED[result.name], result.name
+    assert [
+        (r.name, r.blocked, r.kill_reason) for r in by_engine["interp"]
+    ] == [
+        (r.name, r.blocked, r.kill_reason) for r in by_engine["threaded"]
+    ]

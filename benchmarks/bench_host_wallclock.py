@@ -1,0 +1,152 @@
+"""Host wall-clock throughput: threaded engine vs the interpreter.
+
+Every other benchmark in this suite measures *simulated* cycles, which
+are engine-invariant by construction.  This one measures what the
+tentpole optimisation actually buys: real host instructions/second for
+the two execution engines on three CPU-bound macro workloads.  It also
+re-checks the engines' bit-identity contract on the exact binaries it
+times (same cycles, instructions, syscalls, exit status).
+
+Results are archived twice: the human-readable table under
+``benchmarks/results/`` like every other bench, and a machine-readable
+``BENCH_host_wallclock.json`` at the repo root that seeds the repo's
+host-performance trajectory (later optimisation PRs append comparable
+numbers).
+
+Knobs:
+
+- ``REPRO_BENCH_SCALE`` shrinks the workload iteration counts like the
+  other macro benches.
+- ``REPRO_WALLCLOCK_WORKLOADS`` (comma-separated names) restricts the
+  workload list — the CI smoke job times only ``gzip-spec``.
+
+The >=3x speedup gate is enforced at full scale; scaled-down smoke
+runs only require that the threaded engine is never *slower* (tiny
+workloads are dominated by load/install time, not execution).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.installer import install
+from repro.kernel import Kernel
+from repro.workloads.spec import SPEC_PROGRAMS, build_spec_program
+from benchmarks.conftest import BENCH_KEY, bench_scale
+
+WORKLOADS = ("gzip-spec", "crafty", "twolf")
+ENGINES = ("interp", "threaded")
+
+JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_host_wallclock.json"
+
+#: Tentpole acceptance gate: guest instructions/sec under the threaded
+#: engine must be at least this multiple of the interpreter's.
+SPEEDUP_GATE = 3.0
+
+
+def _selected_workloads() -> tuple:
+    override = os.environ.get("REPRO_WALLCLOCK_WORKLOADS")
+    if not override:
+        return WORKLOADS
+    names = tuple(n.strip() for n in override.split(",") if n.strip())
+    unknown = [n for n in names if n not in SPEC_PROGRAMS]
+    assert not unknown, f"unknown workloads: {unknown}"
+    return names
+
+
+def _time_run(name: str, engine: str, iterations: int) -> dict:
+    binary = install(build_spec_program(name, iterations=iterations),
+                     BENCH_KEY).binary
+    kernel = Kernel(key=BENCH_KEY, engine=engine)
+    start = time.perf_counter()
+    result = kernel.run(binary, argv=[name], max_instructions=500_000_000)
+    host_seconds = time.perf_counter() - start
+    assert result.ok, (name, engine, result.kill_reason)
+    return {
+        "host_seconds": host_seconds,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "syscalls": result.syscalls,
+        "exit_status": result.exit_status,
+        "ips": result.instructions / host_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="host_wallclock")
+def test_host_wallclock(benchmark, report):
+    scale = bench_scale()
+    workloads = _selected_workloads()
+
+    def run_suite():
+        measured = {}
+        for name in workloads:
+            planned, _ = SPEC_PROGRAMS[name].plan()
+            iterations = max(2, int(planned * scale))
+            measured[name] = {
+                engine: _time_run(name, engine, iterations)
+                for engine in ENGINES
+            }
+            measured[name]["iterations"] = iterations
+        return measured
+
+    measured = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    rows = []
+    payload = {
+        "benchmark": "host_wallclock",
+        "scale": scale,
+        "speedup_gate": SPEEDUP_GATE,
+        "workloads": {},
+    }
+    for name in workloads:
+        interp = measured[name]["interp"]
+        threaded = measured[name]["threaded"]
+        speedup = threaded["ips"] / interp["ips"]
+
+        # Bit-identity on the timed binaries: wall clock may differ,
+        # architecture must not.
+        for field in ("instructions", "cycles", "syscalls", "exit_status"):
+            assert interp[field] == threaded[field], (name, field)
+
+        rows.append([
+            name,
+            measured[name]["iterations"],
+            interp["instructions"],
+            f"{interp['ips'] / 1e3:.0f}k",
+            f"{threaded['ips'] / 1e3:.0f}k",
+            f"{speedup:.2f}x",
+        ])
+        payload["workloads"][name] = {
+            "iterations": measured[name]["iterations"],
+            "guest_instructions": interp["instructions"],
+            "interp": {
+                "host_seconds": round(interp["host_seconds"], 4),
+                "instructions_per_second": round(interp["ips"]),
+            },
+            "threaded": {
+                "host_seconds": round(threaded["host_seconds"], 4),
+                "instructions_per_second": round(threaded["ips"]),
+            },
+            "speedup": round(speedup, 2),
+        }
+
+        # The gate: never slower; >=3x at full scale.
+        assert speedup >= 1.0, (name, speedup)
+        if scale >= 1.0:
+            assert speedup >= SPEEDUP_GATE, (name, speedup)
+
+    table = format_table(
+        ["Workload", "Iterations", "Guest instrs",
+         "interp instr/s", "threaded instr/s", "Speedup"],
+        rows,
+        title="Host wall-clock throughput: basic-block translation "
+              "cache vs reference interpreter "
+              f"(scale={scale}, gate={SPEEDUP_GATE}x at full scale)",
+    )
+    report("host_wallclock", table)
+
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -62,8 +62,12 @@ msg:
     return assemble(source, metadata={"program": "marker"}).to_bytes()
 
 
-def _prepare_kernel(key: Key, fastpath: bool = True) -> Kernel:
-    kernel = Kernel(key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath)
+def _prepare_kernel(
+    key: Key, fastpath: bool = True, engine: str = "threaded"
+) -> Kernel:
+    kernel = Kernel(
+        key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath, engine=engine
+    )
     kernel.vfs.write_file("/bin/sh", _marker_program(_SH_MARKER))
     kernel.vfs.write_file("/bin/ls", _marker_program(_LS_MARKER))
     kernel.vfs.write_file("/etc/motd", b"hello\n")
@@ -100,8 +104,9 @@ def _run_with_payload(
     payload: bytes,
     mutate: Optional[Callable[[Kernel, VM], None]] = None,
     fastpath: bool = True,
+    engine: str = "threaded",
 ):
-    kernel = _prepare_kernel(key, fastpath=fastpath)
+    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine)
     process, vm = kernel.load(installed.binary, stdin=payload)
     if mutate:
         mutate(kernel, vm)
@@ -119,7 +124,7 @@ def _encode(instructions) -> bytes:
 
 
 def shellcode_attack(
-    key: Optional[Key] = None, fastpath: bool = True
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
 ) -> AttackResult:
     """Overflow the buffer, run injected code that issues a raw
     execve("/bin/sh") system call."""
@@ -142,7 +147,7 @@ def shellcode_attack(
     payload += struct.pack("<I", buffer_address)  # smashed return address
 
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath
+        key, installed, payload, fastpath=fastpath, engine=engine
     )
     return AttackResult(
         name="shellcode",
@@ -162,6 +167,7 @@ def mimicry_attack(
     key: Optional[Key] = None,
     variant: str = "call-graph",
     fastpath: bool = True,
+    engine: str = "threaded",
 ) -> AttackResult:
     """Reuse the victim's *authenticated* execve call out of context.
 
@@ -204,7 +210,7 @@ def mimicry_attack(
 
     payload = code.ljust(BUFFER_SIZE, b"\x00") + struct.pack("<I", buffer_address)
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath
+        key, installed, payload, fastpath=fastpath, engine=engine
     )
     return AttackResult(
         name=f"mimicry/{variant}",
@@ -221,7 +227,7 @@ def mimicry_attack(
 
 
 def non_control_data_attack(
-    key: Optional[Key] = None, fastpath: bool = True
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
 ) -> AttackResult:
     """Swap the constant "/bin/ls" for "/bin/sh" in memory.
 
@@ -236,7 +242,8 @@ def non_control_data_attack(
         vm.memory.write(exec_path, b"/bin/sh", force=True)
 
     kernel, process, vm = _run_with_payload(
-        key, installed, b"/etc/motd\x00", mutate=corrupt, fastpath=fastpath
+        key, installed, b"/etc/motd\x00", mutate=corrupt, fastpath=fastpath,
+        engine=engine,
     )
     return AttackResult(
         name="non-control-data",
@@ -253,7 +260,10 @@ def non_control_data_attack(
 
 
 def frankenstein_attack(
-    key: Optional[Key] = None, defense: bool = True, fastpath: bool = True
+    key: Optional[Key] = None,
+    defense: bool = True,
+    fastpath: bool = True,
+    engine: str = "threaded",
 ) -> AttackResult:
     """Transplant program B's authenticated execve (of /bin/sh) into
     program A.  Both programs are legitimately installed on the same
@@ -292,7 +302,8 @@ def frankenstein_attack(
             vm.memory.write(address, blob, force=True)
 
     kernel, process, vm = _run_with_payload(
-        key, installed_a, b"/etc/motd\x00", mutate=transplant, fastpath=fastpath
+        key, installed_a, b"/etc/motd\x00", mutate=transplant, fastpath=fastpath,
+        engine=engine,
     )
     spawned_shell = _SH_MARKER in process.stdout
     return AttackResult(
@@ -313,7 +324,7 @@ def frankenstein_attack(
 
 
 def replay_attack(
-    key: Optional[Key] = None, fastpath: bool = True
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
 ) -> AttackResult:
     """Snapshot lastBlock/lbMAC *before* the open executes; let the
     open run (advancing the kernel counter); then restore the stale
@@ -323,7 +334,7 @@ def replay_attack(
     counter and fail-stops instead."""
     key = key or Key.generate()
     installed = _install_victim(key)
-    kernel = _prepare_kernel(key, fastpath=fastpath)
+    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine)
     process, vm = kernel.load(installed.binary, stdin=b"/etc/motd\x00")
 
     image = link(installed.binary)
@@ -362,20 +373,26 @@ def replay_attack(
 
 
 def run_all_attacks(
-    key: Optional[Key] = None, fastpath: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
 ) -> list[AttackResult]:
     """The full §4.1 + §5.5 battery.
 
     ``fastpath=False`` runs every scenario on a ``--no-fastpath``
     kernel; the outcomes must be identical — the verification cache is
-    an optimization, never a policy change."""
+    an optimization, never a policy change.  Likewise ``engine``:
+    the battery must report the same verdicts under the interpreter
+    and the threaded translation cache (the §4.1 shellcode executes
+    freshly written stack bytes, which exercises the threaded engine's
+    invalidation protocol end to end)."""
     key = key or Key.generate()
     return [
-        shellcode_attack(key, fastpath=fastpath),
-        mimicry_attack(key, "call-graph", fastpath=fastpath),
-        mimicry_attack(key, "call-site", fastpath=fastpath),
-        non_control_data_attack(key, fastpath=fastpath),
-        frankenstein_attack(key, defense=True, fastpath=fastpath),
-        frankenstein_attack(key, defense=False, fastpath=fastpath),
-        replay_attack(key, fastpath=fastpath),
+        shellcode_attack(key, fastpath=fastpath, engine=engine),
+        mimicry_attack(key, "call-graph", fastpath=fastpath, engine=engine),
+        mimicry_attack(key, "call-site", fastpath=fastpath, engine=engine),
+        non_control_data_attack(key, fastpath=fastpath, engine=engine),
+        frankenstein_attack(key, defense=True, fastpath=fastpath, engine=engine),
+        frankenstein_attack(key, defense=False, fastpath=fastpath, engine=engine),
+        replay_attack(key, fastpath=fastpath, engine=engine),
     ]

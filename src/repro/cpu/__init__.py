@@ -19,9 +19,10 @@ from repro.cpu.memory import (
     PROT_READ,
     PROT_WRITE,
 )
-from repro.cpu.vm import ExecutionFault, ProcessExit, TrapHandler, VM
+from repro.cpu.vm import ENGINES, ExecutionFault, ProcessExit, TrapHandler, VM
 
 __all__ = [
+    "ENGINES",
     "ExecutionFault",
     "Memory",
     "MemoryFault",

@@ -18,6 +18,12 @@ PROT_READ = 0x1
 PROT_WRITE = 0x2
 PROT_EXEC = 0x4
 
+#: Granularity of the execution engines' code-invalidation indexes
+#: (the translation cache's page->blocks map keys addresses by
+#: ``address >> PAGE_SHIFT``).  Purely a cache granularity: regions
+#: themselves need not be page-aligned.
+PAGE_SHIFT = 12
+
 
 class MemoryFault(Exception):
     """An access violation: unmapped address or protection mismatch."""
@@ -37,7 +43,9 @@ class Region:
     #: Monotonic write counter.  Every mutation of ``data`` (stores,
     #: forced kernel writes, brk growth) bumps it, which lets callers
     #: memoize *reads* of this region and detect staleness exactly —
-    #: the kernel's authenticated-string parse cache relies on this.
+    #: the kernel's authenticated-string parse cache, the VM's decode
+    #: cache, and the threaded engine's basic-block translation cache
+    #: all rely on this.
     version: int = 0
 
     @property

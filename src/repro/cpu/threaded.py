@@ -1,0 +1,724 @@
+"""Threaded-code execution engine: a basic-block translation cache.
+
+On first entry to a block the engine decodes the straight-line run of
+instructions up to the next control transfer, trap, or ``HALT`` and
+compiles it into a list of pre-bound thunks — one closure per
+instruction with register indices, immediates, and cycle-accounting
+corrections baked in at compile time.  Subsequent executions of the
+block pay one dictionary probe, one guard comparison, and one batched
+cycle/instruction update instead of per-instruction fetch, decode, and
+dispatch.
+
+Bit-identity with the reference interpreter is the contract, not a
+goal: registers, flags, memory, cycle counts (including the values
+``RDTSC`` observes mid-block and the kernel observes at trap time),
+instruction counts, fault PCs and messages, and fail-stop reasons must
+all be indistinguishable.  The pieces that make that work:
+
+- **Batched accounting with per-thunk corrections.**  A block's total
+  cycles and instruction count are added on entry.  Thunks that can
+  observe or abort mid-block (``RDTSC``, faults, self-modifying
+  stores) carry pre-computed corrections (``total - prefix[i]``) so
+  the architectural counters are exact at every observation point.
+- **Traps end blocks.**  ``SYS``/``ASYS`` only ever appear as a block
+  terminator, so ``vm.cycles`` is exact when the kernel's
+  :class:`~repro.cpu.vm.TrapHandler` runs, ``vm.pc`` names the call
+  site (the authenticated-call checker and audit log depend on it),
+  and :class:`~repro.cpu.vm.ProcessExit` propagates with the same
+  state the interpreter would leave.
+- **Write-version guards.**  Each block records the
+  :class:`~repro.cpu.memory.Region` objects its code spans and their
+  ``version`` counters at compile time; a block whose guard fails is
+  recompiled on next entry.  Stores additionally consult a
+  page->blocks index for eager invalidation, and a store that clobbers
+  the *remainder of the currently running block* rolls the batched
+  accounting back and aborts to the dispatch loop, so self-modifying
+  code (including the §4.1 stack shellcode) re-decodes exactly like
+  the interpreter.
+- **Compile faults are deferred.**  If instruction ``k > 0`` of a
+  block cannot be fetched or decoded, the block is truncated before it
+  with a fall-through terminator; the fault is then raised on the next
+  dispatch at exactly the PC, accounting, and message the interpreter
+  produces.
+
+Loads and stores go through a one-entry data-region cache (a tiny data
+TLB): a hit performs the access directly against the region bytearray
+(bumping ``Region.version`` on writes, exactly like
+``Memory.write``); any miss — wrong region, out of bounds, protection
+— falls back to the canonical :class:`~repro.cpu.memory.Memory` path
+so every fault is produced by the same code that produces it under the
+interpreter.
+"""
+
+from __future__ import annotations
+
+from struct import pack_into, unpack_from
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cpu.memory import MemoryFault, PAGE_SHIFT, Region
+from repro.cpu.vm import ExecutionFault
+from repro.isa.encoding import INSTRUCTION_SIZE, EncodingError, decode_fields
+from repro.isa.opcodes import OPCODE_INFO, Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.vm import VM
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x8000_0000
+_WRAP = 0x1_0000_0000
+
+#: Maximum instructions per block.  Blocks are straight-line, so this
+#: only bounds pathological NOP sleds; real blocks end at a branch.
+MAX_BLOCK = 64
+
+
+class BlockAbort(Exception):
+    """Internal control flow: a store clobbered the remainder of the
+    running block.  ``consumed`` is how many instructions completed."""
+
+    def __init__(self, consumed: int):
+        self.consumed = consumed
+
+
+class Block:
+    """One compiled basic block."""
+
+    __slots__ = (
+        "entry", "end", "count", "total_cycles", "thunks",
+        "guard_region", "guard_version", "extra_guards", "stop", "pages",
+    )
+
+    def __init__(self, entry, end, count, total_cycles, thunks, guards, stop):
+        self.entry = entry
+        self.end = end
+        self.count = count
+        self.total_cycles = total_cycles
+        self.thunks = thunks
+        self.guard_region = guards[0][0]
+        self.guard_version = guards[0][1]
+        self.extra_guards = guards[1:] or None
+        self.stop = stop
+        self.pages = tuple(
+            range(entry >> PAGE_SHIFT, ((end - 1) >> PAGE_SHIFT) + 1)
+        )
+
+
+def _signed(value: int) -> int:
+    return value - _WRAP if value & _SIGN else value
+
+
+class BlockCache:
+    """The per-VM translation cache and its dispatch loop."""
+
+    def __init__(self, vm: "VM"):
+        self.vm = vm
+        self._blocks: dict[int, Block] = {}
+        #: page number -> set of block entry PCs whose code touches it.
+        #: Lets stores invalidate cached translations in O(1) in the
+        #: common no-code-on-this-page case.
+        self._page_index: dict[int, set] = {}
+        #: One-entry data TLB (see module docstring).  Starts with an
+        #: empty dummy region so the first access always misses.
+        self._dregion: Region = Region(start=0, data=bytearray(), prot=0)
+        self.compiles = 0
+        self.invalidations = 0
+
+    # -- dispatch ------------------------------------------------------
+
+    def run(self, max_instructions: int) -> None:
+        """Execute until HALT/exit; mirrors the interpreter's budget
+        semantics exactly (a block longer than the remaining budget is
+        single-stepped so exhaustion faults at the same PC)."""
+        vm = self.vm
+        lookup = self.lookup
+        step = vm.step
+        budget = max_instructions
+        while budget > 0:
+            block = lookup(vm.pc)
+            count = block.count
+            if count > budget:
+                if not step():
+                    return
+                budget -= 1
+                continue
+            vm.cycles += block.total_cycles
+            vm.instructions_executed += count
+            try:
+                for thunk in block.thunks:
+                    thunk(vm)
+            except BlockAbort as abort:
+                budget -= abort.consumed
+                continue
+            if block.stop:
+                return
+            budget -= count
+        raise ExecutionFault(vm.pc, "instruction budget exhausted")
+
+    # -- cache management ----------------------------------------------
+
+    def lookup(self, pc: int) -> Block:
+        block = self._blocks.get(pc)
+        if block is not None:
+            if block.guard_region.version == block.guard_version:
+                extra = block.extra_guards
+                if extra is None:
+                    return block
+                for region, version in extra:
+                    if region.version != version:
+                        break
+                else:
+                    return block
+            self._drop(block)
+            self.invalidations += 1
+        return self._compile(pc)
+
+    def _drop(self, block: Block) -> None:
+        self._blocks.pop(block.entry, None)
+        for page in block.pages:
+            entries = self._page_index.get(page)
+            if entries is not None:
+                entries.discard(block.entry)
+                if not entries:
+                    del self._page_index[page]
+
+    def note_write(self, address: int, size: int) -> None:
+        """Eagerly drop cached blocks whose code a write overlaps.
+        Correctness does not depend on this (the version guards catch
+        staleness at next entry); it keeps the cache from accumulating
+        dead translations."""
+        index = self._page_index
+        lo = address >> PAGE_SHIFT
+        hi = (address + size - 1) >> PAGE_SHIFT
+        end = address + size
+        for page in ((lo,) if hi == lo else (lo, hi)):
+            entries = index.get(page)
+            if not entries:
+                continue
+            for entry in list(entries):
+                block = self._blocks.get(entry)
+                if block is None:
+                    entries.discard(entry)
+                    continue
+                if address < block.end and end > block.entry:
+                    self._drop(block)
+                    self.invalidations += 1
+
+    # -- compilation ---------------------------------------------------
+
+    def _compile(self, entry: int) -> Block:
+        vm = self.vm
+        memory = vm.memory
+        nx = vm.nx
+        fetched = []  # (pc, op, reg fields, imm)
+        guards: list[tuple[Region, int]] = []
+        seen_regions: set[int] = set()
+        pc = entry
+        terminated = False
+        while True:
+            # Mirrors VM._fetch: NX check, read, decode — but a failure
+            # past the first instruction truncates the block instead of
+            # raising, deferring the fault to the dispatch that actually
+            # reaches it (identical accounting and message).
+            if nx and not memory.executable(pc):
+                if not fetched:
+                    raise ExecutionFault(pc, "NX violation: page not executable")
+                break
+            try:
+                raw = memory.read(pc, INSTRUCTION_SIZE)
+            except MemoryFault as fault:
+                if not fetched:
+                    raise ExecutionFault(
+                        pc, f"instruction fetch: {fault}"
+                    ) from fault
+                break
+            try:
+                op, regs, imm = decode_fields(raw)
+            except EncodingError as err:
+                if not fetched:
+                    raise ExecutionFault(
+                        pc, f"illegal instruction: {err}"
+                    ) from err
+                break
+            region = memory.region_at(pc)
+            if id(region) not in seen_regions:
+                seen_regions.add(id(region))
+                guards.append((region, region.version))
+            fetched.append((pc, op, regs, imm))
+            info = OPCODE_INFO[op]
+            if info.is_branch or info.is_trap or op is Op.HALT:
+                terminated = True
+                break
+            pc += INSTRUCTION_SIZE
+            if len(fetched) >= MAX_BLOCK:
+                break
+
+        count = len(fetched)
+        end = fetched[-1][0] + INSTRUCTION_SIZE
+        # Cycle prefix sums: prefix[i] covers instructions 0..i
+        # inclusive (the interpreter charges cycles *before* executing
+        # an instruction, so a fault at i has paid for i).
+        prefix = []
+        total = 0
+        for _, op, _, imm in fetched:
+            total += OPCODE_INFO[op].cycles
+            if op is Op.CPUWORK:
+                total += imm
+            prefix.append(total)
+
+        thunks: list[Callable] = []
+        stop = False
+        for i, (ipc, op, regs, imm) in enumerate(fetched):
+            thunk = self._make_thunk(
+                i, ipc, op, regs, imm,
+                cyc_corr=total - prefix[i],
+                icnt_corr=count - (i + 1),
+                block_end=end,
+            )
+            if thunk is not None:
+                thunks.append(thunk)
+            if op is Op.HALT:
+                stop = True
+        if not terminated:
+            # Truncated block: fall through to the next PC; the next
+            # dispatch re-enters the cache (or raises the deferred
+            # fetch fault).
+            nxt = end
+
+            def fallthrough(vm, _nxt=nxt):
+                vm.pc = _nxt
+
+            thunks.append(fallthrough)
+
+        block = Block(entry, end, count, total, thunks, guards, stop)
+        self._blocks[entry] = block
+        for page in block.pages:
+            self._page_index.setdefault(page, set()).add(entry)
+        self.compiles += 1
+        return block
+
+    # -- thunk factories -----------------------------------------------
+
+    def _make_thunk(
+        self, i, pc, op, regs_f, imm, cyc_corr, icnt_corr, block_end
+    ) -> Optional[Callable]:
+        """Compile one instruction into a pre-bound closure.
+
+        Returns ``None`` for instructions whose entire effect lives in
+        the batched accounting (``NOP``, ``CPUWORK``)."""
+        vm = self.vm
+        regs = vm.regs  # the register file list is never reassigned
+        memory = vm.memory
+        cache = self
+        nxt = pc + INSTRUCTION_SIZE
+        consumed = i + 1
+
+        def fault(vm, message, cause=None):
+            """Roll the batched accounting back to 'instruction i
+            faulted' and raise, mirroring interpreter state exactly."""
+            vm.cycles -= cyc_corr
+            vm.instructions_executed -= icnt_corr
+            vm.pc = pc
+            raise ExecutionFault(pc, message) from cause
+
+        def store_hooks(vm, address, size):
+            """Post-write invalidation: eager page-index drop plus the
+            self-modification abort for the running block."""
+            if (address >> PAGE_SHIFT) in cache._page_index or (
+                (address + size - 1) >> PAGE_SHIFT
+            ) in cache._page_index:
+                cache.note_write(address, size)
+            if address < block_end and address + size > nxt:
+                # The write clobbered instructions this block has not
+                # executed yet: unwind the batched accounting past
+                # instruction i and return to the dispatch loop, which
+                # re-decodes the modified code.
+                vm.cycles -= cyc_corr
+                vm.instructions_executed -= icnt_corr
+                vm.pc = nxt
+                raise BlockAbort(consumed)
+
+        def read_u32(vm, address, message_prefix=""):
+            region = cache._dregion
+            offset = address - region.start
+            if 0 <= offset and offset + 4 <= len(region.data) and region.prot & 1:
+                return unpack_from("<I", region.data, offset)[0]
+            try:
+                value = memory.read_u32(address)
+            except MemoryFault as err:
+                fault(vm, message_prefix + str(err), err)
+            cache._dregion = memory.region_at(address)
+            return value
+
+        def write_u32(vm, address, value, message_prefix=""):
+            region = cache._dregion
+            offset = address - region.start
+            if 0 <= offset and offset + 4 <= len(region.data) and region.prot & 2:
+                pack_into("<I", region.data, offset, value & _MASK)
+                region.version += 1
+            else:
+                try:
+                    memory.write_u32(address, value)
+                except MemoryFault as err:
+                    fault(vm, message_prefix + str(err), err)
+                cache._dregion = memory.region_at(address)
+            store_hooks(vm, address, 4)
+
+        # -- straight-line operations ---------------------------------
+
+        if op is Op.NOP or op is Op.CPUWORK:
+            return None  # effect folded into the batched cycle total
+
+        if op is Op.LI:
+            d = regs_f[0]
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = value
+
+        elif op is Op.MOV:
+            d, s = regs_f
+
+            def thunk(vm):
+                regs[d] = regs[s]
+
+        elif op is Op.ADD:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = (regs[a] + regs[b]) & _MASK
+
+        elif op is Op.SUB:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = (regs[a] - regs[b]) & _MASK
+
+        elif op is Op.MUL:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = (regs[a] * regs[b]) & _MASK
+
+        elif op is Op.DIV or op is Op.MOD:
+            d, a, b = regs_f
+            is_div = op is Op.DIV
+
+            def thunk(vm):
+                divisor = regs[b]
+                if divisor == 0:
+                    fault(vm, "division by zero")
+                regs[d] = (
+                    regs[a] // divisor if is_div else regs[a] % divisor
+                ) & _MASK
+
+        elif op is Op.AND:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = regs[a] & regs[b]
+
+        elif op is Op.OR:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = regs[a] | regs[b]
+
+        elif op is Op.XOR:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = regs[a] ^ regs[b]
+
+        elif op is Op.SHL:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = (regs[a] << (regs[b] & 31)) & _MASK
+
+        elif op is Op.SHR:
+            d, a, b = regs_f
+
+            def thunk(vm):
+                regs[d] = regs[a] >> (regs[b] & 31)
+
+        elif op is Op.ADDI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = (regs[a] + value) & _MASK
+
+        elif op is Op.SUBI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = (regs[a] - value) & _MASK
+
+        elif op is Op.MULI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = (regs[a] * value) & _MASK
+
+        elif op is Op.DIVI:
+            d, a = regs_f
+            value = imm & _MASK
+            if value == 0:
+
+                def thunk(vm):
+                    fault(vm, "division by zero")
+
+            else:
+
+                def thunk(vm):
+                    regs[d] = (regs[a] // value) & _MASK
+
+        elif op is Op.ANDI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = regs[a] & value
+
+        elif op is Op.ORI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = regs[a] | value
+
+        elif op is Op.XORI:
+            d, a = regs_f
+            value = imm & _MASK
+
+            def thunk(vm):
+                regs[d] = regs[a] ^ value
+
+        elif op is Op.SHLI:
+            d, a = regs_f
+            shift = imm & 31
+
+            def thunk(vm):
+                regs[d] = (regs[a] << shift) & _MASK
+
+        elif op is Op.SHRI:
+            d, a = regs_f
+            shift = imm & 31
+
+            def thunk(vm):
+                regs[d] = regs[a] >> shift
+
+        elif op is Op.LD:
+            d, base = regs_f
+            disp = imm
+
+            def thunk(vm):
+                regs[d] = read_u32(vm, (regs[base] + disp) & _MASK)
+
+        elif op is Op.ST:
+            s, base = regs_f
+            disp = imm
+
+            def thunk(vm):
+                write_u32(vm, (regs[base] + disp) & _MASK, regs[s])
+
+        elif op is Op.LDB:
+            d, base = regs_f
+            disp = imm
+
+            def thunk(vm):
+                address = (regs[base] + disp) & _MASK
+                region = cache._dregion
+                offset = address - region.start
+                if 0 <= offset < len(region.data) and region.prot & 1:
+                    regs[d] = region.data[offset]
+                    return
+                try:
+                    value = memory.read_u8(address)
+                except MemoryFault as err:
+                    fault(vm, str(err), err)
+                cache._dregion = memory.region_at(address)
+                regs[d] = value
+
+        elif op is Op.STB:
+            s, base = regs_f
+            disp = imm
+
+            def thunk(vm):
+                address = (regs[base] + disp) & _MASK
+                region = cache._dregion
+                offset = address - region.start
+                if 0 <= offset < len(region.data) and region.prot & 2:
+                    region.data[offset] = regs[s] & 0xFF
+                    region.version += 1
+                else:
+                    try:
+                        memory.write_u8(address, regs[s])
+                    except MemoryFault as err:
+                        fault(vm, str(err), err)
+                    cache._dregion = memory.region_at(address)
+                store_hooks(vm, address, 1)
+
+        elif op is Op.PUSH:
+            s = regs_f[0]
+
+            def thunk(vm):
+                value = regs[s]
+                sp = (regs[15] - 4) & _MASK
+                regs[15] = sp
+                write_u32(vm, sp, value, "stack overflow: ")
+
+        elif op is Op.POP:
+            d = regs_f[0]
+
+            def thunk(vm):
+                value = read_u32(vm, regs[15], "stack underflow: ")
+                regs[15] = (regs[15] + 4) & _MASK
+                regs[d] = value
+
+        elif op is Op.CMP:
+            a, b = regs_f
+
+            def thunk(vm):
+                x = regs[a]
+                y = regs[b]
+                vm.flag_zero = x == y
+                vm.flag_neg = (x - _WRAP if x & _SIGN else x) < (
+                    y - _WRAP if y & _SIGN else y
+                )
+
+        elif op is Op.CMPI:
+            a = regs_f[0]
+            value = imm & _MASK
+            signed_value = _signed(value)
+
+            def thunk(vm):
+                x = regs[a]
+                vm.flag_zero = x == value
+                vm.flag_neg = (x - _WRAP if x & _SIGN else x) < signed_value
+
+        elif op is Op.RDTSC or op is Op.RDTSCH:
+            # The batched cycle total was added at block entry; subtract
+            # the pre-computed suffix so the guest observes exactly the
+            # interpreter's mid-block counter value.
+            d = regs_f[0]
+            high = op is Op.RDTSCH
+
+            def thunk(vm):
+                cycles = vm.cycles - cyc_corr
+                regs[d] = ((cycles >> 32) if high else cycles) & _MASK
+
+        # -- terminators ----------------------------------------------
+
+        elif op in _CONDITION_FLAGS:
+            target = imm & _MASK
+            want_zero, want_neg, want_either, invert = _CONDITION_FLAGS[op]
+
+            if op is Op.BEQ:
+
+                def thunk(vm):
+                    vm.pc = target if vm.flag_zero else nxt
+
+            elif op is Op.BNE:
+
+                def thunk(vm):
+                    vm.pc = nxt if vm.flag_zero else target
+
+            elif op is Op.BLT:
+
+                def thunk(vm):
+                    vm.pc = target if vm.flag_neg else nxt
+
+            elif op is Op.BGE:
+
+                def thunk(vm):
+                    vm.pc = nxt if vm.flag_neg else target
+
+            elif op is Op.BLE:
+
+                def thunk(vm):
+                    vm.pc = target if (vm.flag_neg or vm.flag_zero) else nxt
+
+            else:  # BGT
+
+                def thunk(vm):
+                    vm.pc = nxt if (vm.flag_neg or vm.flag_zero) else target
+
+        elif op is Op.JMP:
+            target = imm & _MASK
+
+            def thunk(vm):
+                vm.pc = target
+
+        elif op is Op.JR:
+            r = regs_f[0]
+
+            def thunk(vm):
+                vm.pc = regs[r]
+
+        elif op is Op.CALL:
+            target = imm & _MASK
+
+            def thunk(vm):
+                sp = (regs[15] - 4) & _MASK
+                regs[15] = sp
+                write_u32(vm, sp, nxt, "stack overflow: ")
+                vm.pc = target
+
+        elif op is Op.CALLR:
+            r = regs_f[0]
+
+            def thunk(vm):
+                sp = (regs[15] - 4) & _MASK
+                regs[15] = sp
+                write_u32(vm, sp, nxt, "stack overflow: ")
+                vm.pc = regs[r]  # read after the push, like the interpreter
+
+        elif op is Op.RET:
+
+            def thunk(vm):
+                value = read_u32(vm, regs[15], "stack underflow: ")
+                regs[15] = (regs[15] + 4) & _MASK
+                vm.pc = value
+
+        elif op is Op.SYS or op is Op.ASYS:
+            authenticated = op is Op.ASYS
+
+            def thunk(vm):
+                # The kernel reads vm.pc (call site), vm.regs, and
+                # vm.cycles (trap-time clock); all are exact here
+                # because traps always terminate a block.
+                vm.pc = pc
+                handler = vm.trap_handler
+                if handler is None:
+                    raise ExecutionFault(pc, "trap with no kernel attached")
+                vm.syscall_count += 1
+                vm.cycles += handler.handle_trap(vm, authenticated)
+                vm.pc = nxt
+
+        elif op is Op.HALT:
+
+            def thunk(vm):
+                vm.exit_status = regs[1] & _MASK
+                vm.pc = pc  # the interpreter leaves pc at the HALT
+
+        else:  # pragma: no cover - opcode table is exhaustive
+            def thunk(vm):
+                fault(vm, f"unimplemented opcode {op!r}")
+
+        return thunk
+
+
+#: Marker table for the conditional branches (the tuple payload is
+#: unused — membership drives the dispatch above, mirroring the
+#: interpreter's _CONDITIONS table).
+_CONDITION_FLAGS = {
+    Op.BEQ: (True, False, False, False),
+    Op.BNE: (True, False, False, True),
+    Op.BLT: (False, True, False, False),
+    Op.BGE: (False, True, False, True),
+    Op.BLE: (False, False, True, False),
+    Op.BGT: (False, False, True, True),
+}

@@ -12,19 +12,36 @@ default the VM will execute from any *readable* page ("nx=False");
 enabling ``nx=True`` is available for the ablation that shows the §4.1
 shellcode attack being stopped by page protection instead of by
 authentication.
+
+Two execution engines share the architectural state:
+
+- ``interp`` — the reference interpreter: fetch, decode (through a
+  write-version-gated decode cache), dispatch, one instruction at a
+  time.
+- ``threaded`` — a basic-block translation cache
+  (:mod:`repro.cpu.threaded`): straight-line runs are compiled once
+  into lists of pre-bound thunks and re-executed with one dispatch and
+  batched cycle accounting.
+
+Both engines are required to produce bit-identical architectural state
+(registers, flags, memory, cycle counts, syscall counts, fault
+PCs/messages, fail-stop reasons) on every program; the differential
+fuzz suite enforces this.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Protocol
 
-from repro.cpu.memory import Memory, MemoryFault, PROT_READ, PROT_WRITE
+from repro.cpu.memory import Memory, MemoryFault, PROT_READ, PROT_WRITE, Region
 from repro.isa import INSTRUCTION_SIZE, Instruction, decode_instruction
 from repro.isa.encoding import EncodingError
 from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_REGS, SP
 
 _MASK = 0xFFFFFFFF
+
+ENGINES = ("interp", "threaded")
 
 
 def _signed(value: int) -> int:
@@ -75,7 +92,11 @@ class VM:
         stack_top: int = 0x0C000000,
         stack_size: int = 0x40000,
         nx: bool = False,
+        engine: str = "interp",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown execution engine {engine!r}")
+        self.engine = engine
         self.memory = memory
         self.regs = [0] * NUM_REGS
         self.pc = entry
@@ -99,26 +120,31 @@ class VM:
         )
         self.regs[SP] = stack_top
 
-        self._decode_cache: dict[int, Instruction] = {}
+        #: Decode cache: pc -> (region, region.version at decode time,
+        #: decoded instruction).  Entries self-invalidate when the
+        #: containing region's write-version counter advances, so a
+        #: store never pays more than the write itself — the old
+        #: per-store invalidation loop iterated every byte written.
+        self._decode_cache: dict[int, tuple[Region, int, Instruction]] = {}
+        #: Lazily built basic-block translation cache (threaded engine).
+        self._block_cache = None
 
-    # -- memory helpers with cache invalidation -------------------------
+    # -- memory helpers --------------------------------------------------
 
     def store(self, address: int, data: bytes) -> None:
+        """Guest-visible store.  Decode/translation caches are gated on
+        ``Region.version`` (bumped by ``Memory.write``), so no explicit
+        invalidation pass is needed."""
         self.memory.write(address, data)
-        self._invalidate(address, len(data))
-
-    def _invalidate(self, address: int, size: int) -> None:
-        if not self._decode_cache:
-            return
-        for addr in range(address - INSTRUCTION_SIZE + 1, address + size):
-            self._decode_cache.pop(addr, None)
 
     # -- fetch/decode ----------------------------------------------------
 
     def _fetch(self, pc: int) -> Instruction:
         cached = self._decode_cache.get(pc)
         if cached is not None:
-            return cached
+            region, version, instruction = cached
+            if region.version == version:
+                return instruction
         if self.nx and not self.memory.executable(pc):
             raise ExecutionFault(pc, "NX violation: page not executable")
         try:
@@ -130,7 +156,8 @@ class VM:
         except EncodingError as err:
             raise ExecutionFault(pc, f"illegal instruction: {err}") from err
         instruction.address = pc
-        self._decode_cache[pc] = instruction
+        region = self.memory.region_at(pc)
+        self._decode_cache[pc] = (region, region.version, instruction)
         return instruction
 
     # -- stack helpers ----------------------------------------------------
@@ -234,14 +261,11 @@ class VM:
         :class:`ProcessExit` raised by the kernel is absorbed here: a
         voluntary exit sets ``exit_status``; a security kill sets
         ``killed``/``kill_reason`` as well (fail-stop semantics)."""
-        budget = max_instructions
         try:
-            while budget > 0:
-                if not self.step():
-                    break
-                budget -= 1
+            if self.engine == "threaded":
+                self._run_threaded(max_instructions)
             else:
-                raise ExecutionFault(self.pc, "instruction budget exhausted")
+                self._run_interp(max_instructions)
         except ProcessExit as exit_info:
             self.exit_status = exit_info.status
             self.killed = exit_info.killed
@@ -249,6 +273,22 @@ class VM:
         if self.exit_status is None:
             raise ExecutionFault(self.pc, "process stopped without exiting")
         return self.exit_status
+
+    def _run_interp(self, max_instructions: int) -> None:
+        budget = max_instructions
+        while budget > 0:
+            if not self.step():
+                return
+            budget -= 1
+        raise ExecutionFault(self.pc, "instruction budget exhausted")
+
+    def _run_threaded(self, max_instructions: int) -> None:
+        from repro.cpu.threaded import BlockCache
+
+        cache = self._block_cache
+        if cache is None:
+            cache = self._block_cache = BlockCache(self)
+        cache.run(max_instructions)
 
     # -- internals -------------------------------------------------------
 
@@ -290,7 +330,6 @@ class VM:
             self.memory.write_u32(address, value)
         except MemoryFault as fault:
             raise ExecutionFault(pc, str(fault)) from fault
-        self._invalidate(address, 4)
 
     def _read_u8(self, address: int, pc: int) -> int:
         try:
@@ -303,7 +342,6 @@ class VM:
             self.memory.write_u8(address, value)
         except MemoryFault as fault:
             raise ExecutionFault(pc, str(fault)) from fault
-        self._invalidate(address, 1)
 
     def _push_checked(self, value: int, pc: int) -> None:
         try:

@@ -29,6 +29,7 @@ from repro.isa.opcodes import Op, OPCODE_INFO, OperandKind
 from repro.isa.instruction import Instruction, SymbolRef
 from repro.isa.encoding import (
     INSTRUCTION_SIZE,
+    decode_fields,
     decode_instruction,
     encode_instruction,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "OperandKind",
     "SP",
     "SymbolRef",
+    "decode_fields",
     "decode_instruction",
     "encode_instruction",
     "register_name",

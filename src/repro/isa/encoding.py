@@ -17,12 +17,25 @@ from __future__ import annotations
 import struct
 
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OPCODE_INFO, Op
+from repro.isa.opcodes import OPCODE_INFO, Op, OperandKind
 
 INSTRUCTION_SIZE = 8
 IMM_OFFSET = 4  # byte offset of the immediate field within an instruction
 
 _VALID_OPCODES = {int(op) for op in Op}
+
+#: Per-opcode operand shape, precomputed once so the decoders do not
+#: re-derive it from the operand-kind tuples on every instruction.
+_N_REGS = {
+    op: sum(
+        1 for kind in info.operands if kind in (OperandKind.REG, OperandKind.MEM)
+    )
+    for op, info in OPCODE_INFO.items()
+}
+_HAS_IMM = {
+    op: any(kind in (OperandKind.IMM, OperandKind.MEM) for kind in info.operands)
+    for op, info in OPCODE_INFO.items()
+}
 
 
 class EncodingError(ValueError):
@@ -44,8 +57,15 @@ def encode_instruction(instruction: Instruction) -> bytes:
     return struct.pack("<BBBBI", int(instruction.op), *regs, imm)
 
 
-def decode_instruction(data: bytes, offset: int = 0) -> Instruction:
-    """Decode 8 bytes at ``offset`` into an :class:`Instruction`."""
+def decode_fields(data: bytes, offset: int = 0):
+    """Decode 8 bytes at ``offset`` into raw ``(op, regs, imm)`` fields.
+
+    This is the validation core shared by :func:`decode_instruction` and
+    the threaded execution engine's block compiler, which pre-extracts
+    register indices and immediates without allocating
+    :class:`Instruction` objects.  ``imm`` is ``None`` when the opcode
+    takes no immediate operand.
+    """
     if len(data) - offset < INSTRUCTION_SIZE:
         raise EncodingError(
             f"truncated instruction at offset {offset}: "
@@ -55,16 +75,7 @@ def decode_instruction(data: bytes, offset: int = 0) -> Instruction:
     if opcode not in _VALID_OPCODES:
         raise EncodingError(f"unknown opcode 0x{opcode:02x} at offset {offset}")
     op = Op(opcode)
-    info = OPCODE_INFO[op]
-    from repro.isa.opcodes import OperandKind
-
-    n_regs = sum(
-        1 for kind in info.operands if kind in (OperandKind.REG, OperandKind.MEM)
-    )
-    has_imm = any(
-        kind in (OperandKind.IMM, OperandKind.MEM) for kind in info.operands
-    )
-    regs = (ra, rb, rc)[:n_regs]
+    regs = (ra, rb, rc)[: _N_REGS[op]]
     # Register fields above the architectural register count are
     # illegal encodings (a fuzzed or corrupted instruction stream must
     # fault, not index past the register file).
@@ -73,4 +84,10 @@ def decode_instruction(data: bytes, offset: int = 0) -> Instruction:
             raise EncodingError(
                 f"register field {reg} out of range at offset {offset}"
             )
-    return Instruction(op, regs, imm if has_imm else None)
+    return op, regs, imm if _HAS_IMM[op] else None
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> Instruction:
+    """Decode 8 bytes at ``offset`` into an :class:`Instruction`."""
+    op, regs, imm = decode_fields(data, offset)
+    return Instruction(op, regs, imm)

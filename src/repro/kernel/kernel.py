@@ -91,6 +91,7 @@ class Kernel:
         cycles_per_second: int = 2_400_000_000,
         nx: bool = False,
         fastpath: bool = True,
+        engine: str = "threaded",
     ):
         self.key = key or Key.generate()
         self.mac: MacProvider = mac_provider_for_key(self.key)
@@ -109,6 +110,10 @@ class Kernel:
         #: (`fastpath=False`, the benchmarks' --no-fastpath escape
         #: hatch) every trap pays the full CMAC, as the paper measured.
         self.fastpath = fastpath
+        #: CPU execution engine for guest processes: "threaded" (the
+        #: basic-block translation cache, default) or "interp" (the
+        #: reference interpreter).  Both are bit-identical by contract.
+        self.engine = engine
         self._checker = AuthChecker(self.mac, self.costs)
         self._authcaches: dict[int, VerifiedSiteCache] = {}
         #: Optional syscall tracer (duck-typed: .record(ctx)); used by
@@ -159,7 +164,13 @@ class Kernel:
             authenticated=image.metadata.get("authenticated") == "yes",
             stdin=stdin,
         )
-        vm = VM(memory=memory, entry=image.entry, trap_handler=self, nx=self.nx)
+        vm = VM(
+            memory=memory,
+            entry=image.entry,
+            trap_handler=self,
+            nx=self.nx,
+            engine=self.engine,
+        )
         self._vm_process[id(vm)] = process
         self._capabilities[id(vm)] = CapabilityTable()
         if self.fastpath:

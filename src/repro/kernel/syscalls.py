@@ -161,9 +161,12 @@ class SyscallContext:
             raise VfsError(Errno.EFAULT) from None
 
     def write_buffer(self, address: int, data: bytes) -> None:
+        # Memory.write bumps Region.version, which is what the VM's
+        # decode cache and the threaded engine's block guards key on —
+        # kernel writes into guest code invalidate translations without
+        # any explicit notification.
         try:
             self.vm.memory.write(address, data, force=True)
-            self.vm._invalidate(address, len(data))
         except MemoryFault:
             raise VfsError(Errno.EFAULT) from None
 

@@ -9,6 +9,7 @@ from typing import Optional
 
 from repro.asm import assemble
 from repro.binfmt import SefBinary
+from repro.cpu import ENGINES
 from repro.crypto import Key
 from repro.installer import InstallerOptions, install
 from repro.kernel import EnforcementMode, Kernel
@@ -107,6 +108,7 @@ def _cmd_run(args) -> int:
         key=_key_from(args),
         mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
         fastpath=not args.no_fastpath,
+        engine=args.engine,
     )
     for spec in args.file or []:
         path, _, content = spec.partition("=")
@@ -133,16 +135,20 @@ def _cmd_run(args) -> int:
 def _cmd_attacks(args) -> int:
     from repro.attacks import run_all_attacks
 
-    results = run_all_attacks(_key_from(args))
-    width = max(len(r.name) for r in results)
+    # The battery runs under BOTH execution engines: the verdicts are a
+    # security property and must not depend on how the CPU is emulated.
     failures = 0
-    for result in results:
-        expected_block = result.name != "frankenstein/undefended"
-        status = "BLOCKED" if result.blocked else "succeeded"
-        marker = "ok" if result.blocked == expected_block else "UNEXPECTED"
-        print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
-        if result.blocked != expected_block:
-            failures += 1
+    for engine in ENGINES:
+        results = run_all_attacks(_key_from(args), engine=engine)
+        width = max(len(r.name) for r in results)
+        print(f"-- engine: {engine}")
+        for result in results:
+            expected_block = result.name != "frankenstein/undefended"
+            status = "BLOCKED" if result.blocked else "succeeded"
+            marker = "ok" if result.blocked == expected_block else "UNEXPECTED"
+            print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
+            if result.blocked != expected_block:
+                failures += 1
     return 1 if failures else 0
 
 
@@ -242,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--no-fastpath", action="store_true",
                      help="disable the per-site verification cache "
                           "(every trap pays the full CMAC)")
+    cmd.add_argument("--engine", choices=ENGINES, default="threaded",
+                     help="CPU execution engine: the basic-block "
+                          "translation cache (threaded, default) or the "
+                          "reference interpreter (interp)")
     cmd.set_defaults(handler=_cmd_run)
 
     cmd = commands.add_parser("attacks", help="run the attack battery")

@@ -89,6 +89,117 @@ def _trivial_binary():
     return assemble(".section .text\n_start:\n    halt\n")
 
 
+class TestEngineDifferentialFuzz:
+    """The threaded translation cache vs the reference interpreter.
+
+    Random programs — both raw bytes and structured instruction soup
+    with loops, stores into code, and stack traffic — must leave the
+    two engines in bit-identical architectural state: registers,
+    flags, PC, cycle/instruction/syscall counters, memory contents,
+    exit status, and fault message.
+    """
+
+    @staticmethod
+    def _final_state(engine, code, reg_seed, budget):
+        import hashlib
+
+        memory = Memory()
+        memory.map_region(
+            0x1000, max(len(code), 16) + 64,
+            PROT_READ | PROT_WRITE | PROT_EXEC, data=code, name="fuzz",
+        )
+        memory.map_region(
+            0x8000, 256, PROT_READ | PROT_WRITE,
+            data=bytes(range(256)), name="data",
+        )
+        vm = VM(memory=memory, entry=0x1000, engine=engine)
+        for i, value in enumerate(reg_seed):
+            vm.regs[i] = value
+        fault = None
+        try:
+            vm.run(max_instructions=budget)
+        except ExecutionFault as err:
+            fault = str(err)
+        digest = hashlib.sha256()
+        for region in vm.memory.regions():
+            digest.update(region.name.encode())
+            digest.update(bytes(region.data))
+        return {
+            "regs": tuple(vm.regs),
+            "pc": vm.pc,
+            "flags": (vm.flag_zero, vm.flag_neg),
+            "cycles": vm.cycles,
+            "instructions": vm.instructions_executed,
+            "syscalls": vm.syscall_count,
+            "exit_status": vm.exit_status,
+            "memory": digest.hexdigest(),
+            "fault": fault,
+        }
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        code=st.binary(min_size=8, max_size=256),
+        reg_seed=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=4, max_size=4,
+        ),
+        budget=st.integers(min_value=1, max_value=400),
+    )
+    def test_random_bytes_identical_state(self, code, reg_seed, budget):
+        interp = self._final_state("interp", code, reg_seed, budget)
+        threaded = self._final_state("threaded", code, reg_seed, budget)
+        assert interp == threaded
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        instrs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=14),  # template index
+                st.integers(min_value=0, max_value=11),  # register a
+                st.integers(min_value=0, max_value=11),  # register b
+                st.integers(min_value=0, max_value=40),  # immediate knob
+            ),
+            min_size=1, max_size=48,
+        ),
+        budget=st.integers(min_value=1, max_value=2000),
+    )
+    def test_structured_programs_identical_state(self, instrs, budget):
+        """Instruction soup biased toward interesting interactions:
+        back-branches (loops), stores aimed at the code region itself
+        (self-modification), RDTSC mid-run, stack churn."""
+        from repro.isa import Instruction, encode_instruction
+        from repro.isa.opcodes import Op
+
+        program = []
+        for which, ra, rb, knob in instrs:
+            target = 0x1000 + 8 * (knob % (len(instrs) + 1))
+            program.append([
+                Instruction(Op.LI, regs=(ra,), imm=knob * 97),
+                Instruction(Op.ADDI, regs=(ra, rb), imm=knob),
+                Instruction(Op.SUB, regs=(ra, ra, rb)),
+                Instruction(Op.MUL, regs=(ra, ra, rb)),
+                Instruction(Op.DIV, regs=(ra, ra, rb)),
+                Instruction(Op.CMP, regs=(ra, rb)),
+                Instruction(Op.CMPI, regs=(ra,), imm=knob),
+                Instruction(Op.BNE, imm=target),
+                Instruction(Op.BLE, imm=target),
+                Instruction(Op.JMP, imm=target),
+                Instruction(Op.LD, regs=(ra, rb), imm=0x8000 + knob),
+                # Stores whose address depends on fuzzed registers can
+                # land inside the code region -> self-modification.
+                Instruction(Op.ST, regs=(ra, rb), imm=0x1000 + knob * 4),
+                Instruction(Op.PUSH, regs=(ra,)),
+                Instruction(Op.POP, regs=(ra,)),
+                Instruction(Op.RDTSC, regs=(ra,)),
+            ][which])
+        program.append(Instruction(Op.HALT))
+        code = b"".join(encode_instruction(i) for i in program)
+        reg_seed = [0, 0, 0, 0]
+        interp = self._final_state("interp", code, reg_seed, budget)
+        threaded = self._final_state("threaded", code, reg_seed, budget)
+        assert interp == threaded
+
+
 class TestParserFuzz:
     @settings(max_examples=150, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
