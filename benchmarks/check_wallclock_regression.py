@@ -1,0 +1,79 @@
+"""CI perf-regression gate for the host wall-clock trajectory.
+
+Compares a freshly measured ``BENCH_host_wallclock.json`` against the
+last *committed* baseline and fails when the threaded engine's
+instructions/second drops below ``threshold`` (default 0.7) times the
+baseline on any workload both files measured.  The CI job snapshots the
+committed file before the bench overwrites it::
+
+    cp BENCH_host_wallclock.json /tmp/wallclock-baseline.json
+    REPRO_BENCH_SCALE=0.2 ... pytest benchmarks/bench_host_wallclock.py ...
+    python benchmarks/check_wallclock_regression.py \
+        --baseline /tmp/wallclock-baseline.json \
+        --current BENCH_host_wallclock.json
+
+Absolute instr/sec varies across host machines, so 0.7x is a coarse
+tripwire for catastrophic regressions (an accidental de-optimisation of
+the translation cache, a recorder guard left unconditioned), not a
+precision benchmark; the bench's own speedup gate covers the
+engine-vs-engine ratio, which is host-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.7
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Returns a list of human-readable regression descriptions."""
+    failures = []
+    base_workloads = baseline.get("workloads", {})
+    curr_workloads = current.get("workloads", {})
+    shared = sorted(set(base_workloads) & set(curr_workloads))
+    if not shared:
+        return ["no workloads in common between baseline and current run"]
+    for name in shared:
+        base_ips = base_workloads[name]["threaded"]["instructions_per_second"]
+        curr_ips = curr_workloads[name]["threaded"]["instructions_per_second"]
+        ratio = curr_ips / base_ips if base_ips else float("inf")
+        status = "ok" if ratio >= threshold else "REGRESSION"
+        print(
+            f"{name:12s} baseline={base_ips:>12,} instr/s  "
+            f"current={curr_ips:>12,} instr/s  ratio={ratio:.2f}x  [{status}]"
+        )
+        if ratio < threshold:
+            failures.append(
+                f"{name}: threaded instr/sec fell to {ratio:.2f}x of the "
+                f"committed baseline (gate: {threshold}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_host_wallclock.json snapshot")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_host_wallclock.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="minimum current/baseline instr-per-sec ratio "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    failures = compare(baseline, current, args.threshold)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,6 @@
 Run:  python examples/extensions_tour.py
 """
 
-from repro.crypto import Key
 from repro.installer.dynlib import DynamicLibrary, LibraryFunction, process_library
 from repro.kernel import Kernel
 from repro.policy import (

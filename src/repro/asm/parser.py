@@ -10,7 +10,7 @@ or an instruction (mnemonic plus comma-separated operands).  ``;`` and
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.isa.opcodes import MNEMONIC_TO_OP, Op

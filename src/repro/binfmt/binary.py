@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 from repro.binfmt.sections import Section
 from repro.binfmt.symbols import BIND_GLOBAL, BIND_LOCAL, Relocation, Symbol

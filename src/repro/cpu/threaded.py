@@ -206,6 +206,18 @@ class BlockCache:
     # -- compilation ---------------------------------------------------
 
     def _compile(self, entry: int) -> Block:
+        recorder = self.vm.recorder
+        if not recorder.enabled:
+            return self._translate(entry)
+        # Tracing: attribute translation time to its own engine stage
+        # even when the first instruction faults out of _translate.
+        recorder.begin("block-compile", "engine")
+        try:
+            return self._translate(entry)
+        finally:
+            recorder.end()
+
+    def _translate(self, entry: int) -> Block:
         vm = self.vm
         memory = vm.memory
         nx = vm.nx

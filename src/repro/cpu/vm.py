@@ -38,6 +38,7 @@ from repro.isa import INSTRUCTION_SIZE, Instruction, decode_instruction
 from repro.isa.encoding import EncodingError
 from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_REGS, SP
+from repro.obs import NULL_RECORDER, Recorder
 
 _MASK = 0xFFFFFFFF
 
@@ -93,10 +94,14 @@ class VM:
         stack_size: int = 0x40000,
         nx: bool = False,
         engine: str = "interp",
+        recorder: Recorder = NULL_RECORDER,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown execution engine {engine!r}")
         self.engine = engine
+        #: Observability hook shared with the kernel; the default
+        #: NullRecorder singleton keeps guest execution span-free.
+        self.recorder = recorder
         self.memory = memory
         self.regs = [0] * NUM_REGS
         self.pc = entry
@@ -126,6 +131,9 @@ class VM:
         #: store never pays more than the write itself — the old
         #: per-store invalidation loop iterated every byte written.
         self._decode_cache: dict[int, tuple[Region, int, Instruction]] = {}
+        #: Decode-cache entries dropped by a write-version guard miss;
+        #: folded into the kernel's metrics registry after the run.
+        self.decode_invalidations = 0
         #: Lazily built basic-block translation cache (threaded engine).
         self._block_cache = None
 
@@ -145,6 +153,7 @@ class VM:
             region, version, instruction = cached
             if region.version == version:
                 return instruction
+            self.decode_invalidations += 1
         if self.nx and not self.memory.executable(pc):
             raise ExecutionFault(pc, "NX violation: page not executable")
         try:
@@ -261,6 +270,14 @@ class VM:
         :class:`ProcessExit` raised by the kernel is absorbed here: a
         voluntary exit sets ``exit_status``; a security kill sets
         ``killed``/``kill_reason`` as well (fail-stop semantics)."""
+        rec = self.recorder
+        traced = rec.enabled
+        if traced:
+            # The root engine span: every verification span nests under
+            # it, so its inclusive duration is the traced wall clock of
+            # the run and the per-stage self times partition it.
+            span_depth = rec.open_spans
+            rec.begin("execute", "engine")
         try:
             if self.engine == "threaded":
                 self._run_threaded(max_instructions)
@@ -270,6 +287,9 @@ class VM:
             self.exit_status = exit_info.status
             self.killed = exit_info.killed
             self.kill_reason = exit_info.reason
+        finally:
+            if traced:
+                rec.close_to(span_depth)
         if self.exit_status is None:
             raise ExecutionFault(self.pc, "process stopped without exiting")
         return self.exit_status

@@ -19,12 +19,11 @@ from repro.binfmt import SefBinary
 from repro.binfmt.image import assign_addresses
 from repro.crypto import Key, MacProvider, mac_provider_for_key
 from repro.installer.policygen import (
-    AnalysisResult,
     GenerationOptions,
     analyze,
     generate_policies,
 )
-from repro.installer.rewrite import RewriteResult, SiteRewrite, rewrite_unit
+from repro.installer.rewrite import RewriteResult, rewrite_unit
 from repro.plto import disassemble, inline_syscall_stubs, reassemble
 from repro.plto.passes import run_baseline_passes
 from repro.policy.descriptor import ParamClass

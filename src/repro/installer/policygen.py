@@ -13,7 +13,7 @@ propagation) and produces the logical :class:`ProgramPolicy`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.binfmt import SefBinary

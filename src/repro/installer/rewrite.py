@@ -24,7 +24,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.binfmt import Relocation, Section
+from repro.binfmt import Relocation
 from repro.binfmt.symbols import Symbol
 from repro.crypto import MAC_SIZE, MacProvider
 from repro.isa import Instruction, SymbolRef

@@ -9,7 +9,7 @@ path/string pointers (AS candidates).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ Stands in for the paper's modified Linux kernel.  The pieces:
 
 from repro.kernel.errors import Errno
 from repro.kernel.vfs import Vfs, VfsError
-from repro.kernel.audit import FastPathStats
+from repro.kernel.audit import FastPathSnapshot, FastPathStats
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
 from repro.kernel.kernel import EnforcementMode, Kernel, RunResult
@@ -32,6 +32,7 @@ __all__ = [
     "CostModel",
     "EnforcementMode",
     "Errno",
+    "FastPathSnapshot",
     "FastPathStats",
     "Kernel",
     "RunResult",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class AuditEvent:
@@ -27,15 +29,14 @@ class AuditEvent:
         return f"[{self.kind}] pid={self.pid} {self.program}{call}{site}: {self.reason}"
 
 
-@dataclass
-class FastPathStats:
-    """Machine-wide verification fast-path counters.
+@dataclass(frozen=True)
+class FastPathSnapshot:
+    """An immutable copy of the fast-path counters at one instant.
 
-    ``hits``/``misses`` count per-site call-MAC cache probes (a miss
-    includes both cold sites and tampered re-probes that fell back to
-    the full CMAC); ``invalidations`` counts cache entries dropped at
-    process exit/exec.  Benchmarks and the audit trail use these to
-    report fast-path coverage alongside the timing tables.
+    :meth:`FastPathStats.reset` returns one of these so a caller that
+    resets between benchmark phases reads a consistent triple — reading
+    the live stats after the reset (or while another phase has already
+    started accumulating) races.
     """
 
     hits: int = 0
@@ -49,10 +50,86 @@ class FastPathStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def reset(self) -> None:
+
+class FastPathStats:
+    """Machine-wide verification fast-path counters.
+
+    ``hits``/``misses`` count per-site call-MAC cache probes (a miss
+    includes both cold sites and tampered re-probes that fell back to
+    the full CMAC); ``invalidations`` counts cache entries dropped at
+    process exit/exec.  Benchmarks and the audit trail use these to
+    report fast-path coverage alongside the timing tables.
+
+    Since the observability layer landed this is a *view* over a
+    :class:`repro.obs.metrics.MetricsRegistry` (the kernel's, so the
+    same numbers appear in ``repro metrics`` dumps under
+    ``fastpath.*``); standalone construction gets a private registry
+    and behaves exactly like the old dataclass.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        invalidations: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        if hits:
+            self._registry.set("fastpath.hits", hits)
+        if misses:
+            self._registry.set("fastpath.misses", misses)
+        if invalidations:
+            self._registry.set("fastpath.invalidations", invalidations)
+
+    # -- counter views ---------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._registry.get("fastpath.hits")
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._registry.set("fastpath.hits", value)
+
+    @property
+    def misses(self) -> int:
+        return self._registry.get("fastpath.misses")
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._registry.set("fastpath.misses", value)
+
+    @property
+    def invalidations(self) -> int:
+        return self._registry.get("fastpath.invalidations")
+
+    @invalidations.setter
+    def invalidations(self, value: int) -> None:
+        self._registry.set("fastpath.invalidations", value)
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> FastPathSnapshot:
+        return FastPathSnapshot(self.hits, self.misses, self.invalidations)
+
+    def reset(self) -> FastPathSnapshot:
+        """Zero the counters; returns the pre-reset snapshot so callers
+        interleaving measurement phases cannot race the reset."""
+        snapshot = self.snapshot()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        return snapshot
 
     def render(self) -> str:
         return (

@@ -29,6 +29,7 @@ from repro.crypto import MacProvider
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel, mac_blocks
 from repro.kernel.process import Process
+from repro.obs import NULL_RECORDER, Recorder
 from repro.policy.authstrings import read_authenticated_string
 from repro.policy.descriptor import PolicyDescriptor
 from repro.policy.encode import ParamEncoding, encode_policy, unpack_predecessor_set
@@ -85,9 +86,19 @@ class CheckResult:
 class AuthChecker:
     """Stateless checker bound to the kernel's MAC provider."""
 
-    def __init__(self, provider: MacProvider, costs: CostModel):
+    def __init__(
+        self,
+        provider: MacProvider,
+        costs: CostModel,
+        recorder: Recorder = NULL_RECORDER,
+    ):
         self._provider = provider
         self._costs = costs
+        #: Observability hook.  Every use is guarded on
+        #: ``recorder.enabled`` so the default NullRecorder costs one
+        #: attribute load + branch per stage (see DESIGN.md
+        #: "Observability").
+        self._recorder = recorder
 
     # -- the three checks of §3.4 ---------------------------------------
 
@@ -110,6 +121,16 @@ class AuthChecker:
         call_site = vm.pc
         record_ptr = vm.regs[7]
         read_as = cache.read_as if cache is not None else read_authenticated_string
+
+        # Observability: the four verification stages of the paper's
+        # cost breakdown, as nested spans under "syscall-verify".  A
+        # violation aborts mid-stage; the kernel unwinds the span stack
+        # (close_to) after the kill, so pairs always balance.
+        rec = self._recorder
+        traced = rec.enabled
+        if traced:
+            rec.begin("syscall-verify", "verify")
+            rec.begin("policy-decode", "verify")
 
         try:
             record = read_auth_record(memory, record_ptr)
@@ -173,6 +194,9 @@ class AuthChecker:
             lastblock_address=record.lastblock_ptr,
             capability=capability_spec,
         )
+        if traced:
+            rec.end()  # policy-decode
+            rec.begin("mac-check", "verify")
         # Fast path: the encoded call is rebuilt from live state above,
         # so if it (and the presented MAC) are byte-identical to a pair
         # that already survived the full CMAC at this site, re-running
@@ -196,6 +220,9 @@ class AuthChecker:
                 cache.store(call_site, descriptor, encoded_call, record.call_mac)
 
         # ---- Step 2: verify authenticated string contents ----
+        if traced:
+            rec.end()  # mac-check
+            rec.begin("string-auth", "verify")
         for index, auth_string in string_checks:
             blocks += mac_blocks(auth_string.length)
             if not auth_string.verify(self._provider):
@@ -218,15 +245,27 @@ class AuthChecker:
                 )
 
         # ---- Step 3: control flow (the online memory checker) ----
+        if traced:
+            rec.end()  # string-auth
         if descriptor.control_flow_constrained:
             assert predset_as is not None
+            if traced:
+                rec.begin("memory-checker", "verify")
             blocks += self._check_control_flow(
                 vm, process, record, predset_as.content, call_site
             )
+            if traced:
+                rec.end()
 
         # ---- Extensions: pattern matching with proof hints (§5.1) ----
         if descriptor.pattern_params():
+            # Runtime pattern arguments are string authentication work;
+            # their span shares the "string-auth" stage bucket.
+            if traced:
+                rec.begin("string-auth", "verify")
             self._check_patterns(vm, descriptor, string_checks, call_site)
+            if traced:
+                rec.end()
 
         if cache_hits:
             cycles = self._costs.auth_cost_fastpath(blocks, cache_hits)
@@ -235,6 +274,8 @@ class AuthChecker:
         fd_allowed: frozenset = frozenset()
         if fd_allowed_as is not None:
             fd_allowed = unpack_predecessor_set(fd_allowed_as.content)
+        if traced:
+            rec.end()  # syscall-verify
         return CheckResult(
             syscall_number=syscall_number,
             block_id=record.block_id,

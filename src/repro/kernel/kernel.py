@@ -9,12 +9,12 @@ is just "link the binary, map the segments, point the VM at us".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, unique
-from typing import Optional, Union
+from typing import Optional
 
 from repro.binfmt import SefBinary, link
-from repro.binfmt.image import LoadedImage, PAGE_SIZE
+from repro.binfmt.image import PAGE_SIZE
 from repro.cpu.memory import (
     Memory,
     PROT_EXEC,
@@ -23,7 +23,7 @@ from repro.cpu.memory import (
 )
 from repro.cpu.vm import VM, ProcessExit
 from repro.crypto import Key, MacProvider, mac_provider_for_key
-from repro.kernel.audit import AuditEvent, AuditLog
+from repro.kernel.audit import AuditEvent, AuditLog, FastPathStats
 from repro.kernel.auth import AuthChecker, AuthViolation
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
@@ -34,6 +34,7 @@ from repro.kernel.syscalls import (
     dispatch,
 )
 from repro.kernel.vfs import Vfs
+from repro.obs import NULL_RECORDER, MetricsRegistry, Recorder
 from repro.policy.capability import CapabilityTable
 
 #: Fixed epoch for deterministic time syscalls: 26 Sep 2005, the
@@ -92,6 +93,7 @@ class Kernel:
         nx: bool = False,
         fastpath: bool = True,
         engine: str = "threaded",
+        recorder: Optional[Recorder] = None,
     ):
         self.key = key or Key.generate()
         self.mac: MacProvider = mac_provider_for_key(self.key)
@@ -99,7 +101,14 @@ class Kernel:
         self.personality = personality
         self.costs = costs or CostModel()
         self.vfs = Vfs()
-        self.audit = AuditLog()
+        #: Observability (see DESIGN.md "Observability").  ``obs`` is
+        #: the span recorder — the shared NullRecorder unless the caller
+        #: passes a :class:`repro.obs.TraceRecorder` — and ``metrics``
+        #: is the machine-wide counter registry that the audit log's
+        #: fast-path stats and the engines' post-run tallies feed.
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = MetricsRegistry()
+        self.audit = AuditLog(fastpath=FastPathStats(registry=self.metrics))
         self.capability_tracking = capability_tracking
         self.cycles_per_second = cycles_per_second
         #: No-execute enforcement.  The paper's 2005-era testbed had no
@@ -114,7 +123,7 @@ class Kernel:
         #: basic-block translation cache, default) or "interp" (the
         #: reference interpreter).  Both are bit-identical by contract.
         self.engine = engine
-        self._checker = AuthChecker(self.mac, self.costs)
+        self._checker = AuthChecker(self.mac, self.costs, self.obs)
         self._authcaches: dict[int, VerifiedSiteCache] = {}
         #: Optional syscall tracer (duck-typed: .record(ctx)); used by
         #: the training-based baseline monitors.
@@ -170,6 +179,7 @@ class Kernel:
             trap_handler=self,
             nx=self.nx,
             engine=self.engine,
+            recorder=self.obs,
         )
         self._vm_process[id(vm)] = process
         self._capabilities[id(vm)] = CapabilityTable()
@@ -216,7 +226,11 @@ class Kernel:
             if authcache is not None:
                 # Exit/exec invalidation: cached verifications never
                 # outlive the address space they were observed in.
-                self.audit.fastpath.invalidations += authcache.invalidate()
+                dropped = authcache.invalidate()
+                self.audit.fastpath.invalidations += dropped
+                if self.obs.enabled:
+                    self.obs.inc("fastpath.invalidations", dropped)
+            self._sync_engine_metrics(vm)
         return RunResult(
             exit_status=status,
             killed=vm.killed,
@@ -234,6 +248,26 @@ class Kernel:
         pid = self._next_pid
         self._next_pid += 1
         return pid
+
+    def _sync_engine_metrics(self, vm: VM) -> None:
+        """Fold the engine-local tallies a run accumulated into the
+        machine-wide registry.  Done once per process teardown so the
+        hot loops only ever touch plain attribute counters."""
+        metrics = self.metrics
+        metrics.inc("engine.instructions_retired", vm.instructions_executed)
+        metrics.inc("engine.syscalls", vm.syscall_count)
+        metrics.inc("decode.invalidations", vm.decode_invalidations)
+        block_cache = vm._block_cache
+        if block_cache is not None:
+            metrics.inc("engine.blocks_compiled", block_cache.compiles)
+            metrics.inc("engine.blocks_evicted", block_cache.invalidations)
+        if self.obs.enabled:
+            self.obs.inc("engine.instructions_retired", vm.instructions_executed)
+            self.obs.inc("engine.syscalls", vm.syscall_count)
+            self.obs.inc("decode.invalidations", vm.decode_invalidations)
+            if block_cache is not None:
+                self.obs.inc("engine.blocks_compiled", block_cache.compiles)
+                self.obs.inc("engine.blocks_evicted", block_cache.invalidations)
 
     # -- trap handling (TrapHandler protocol) --------------------------------
 
@@ -265,15 +299,26 @@ class Kernel:
 
     def _handle_asys(self, vm: VM, process: Process) -> int:
         """An authenticated ASYS trap: check, then dispatch."""
+        rec = self.obs
+        traced = rec.enabled
+        if traced:
+            span_depth = rec.open_spans
         try:
             result = self._checker.check(vm, process, self._authcaches.get(id(vm)))
         except AuthViolation as violation:
             number = vm.regs[0]
             name = SYSCALL_NAMES.get(number, f"syscall#{number}")
+            if traced:
+                # A violation aborts the checker mid-stage; rebalance
+                # the span stack before the kill unwinds the VM.
+                rec.close_to(span_depth)
             self._kill(vm, process, name, violation.reason)
             raise AssertionError("unreachable")  # pragma: no cover
         self.audit.fastpath.hits += result.cache_hits
         self.audit.fastpath.misses += result.cache_misses
+        if traced:
+            rec.inc("fastpath.hits", result.cache_hits)
+            rec.inc("fastpath.misses", result.cache_misses)
         if result.fd_mask and self.capability_tracking:
             self._check_capability(vm, process, result)
         cycles = self._dispatch(vm, process, result.syscall_number, result.block_id)

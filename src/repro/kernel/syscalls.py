@@ -14,8 +14,8 @@ bad pointers, as a real kernel's ``copy_from_user`` would).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.cpu.memory import MemoryFault
 from repro.cpu.vm import VM, ProcessExit

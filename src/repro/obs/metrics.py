@@ -1,0 +1,92 @@
+"""The machine-wide counter registry.
+
+One :class:`MetricsRegistry` per :class:`~repro.kernel.kernel.Kernel`
+holds every runtime counter as a named integer: fast-path cache
+traffic, decode-cache invalidations, translation-cache compiles and
+evictions, guest instructions retired.  Counters are plain dict slots
+— maintaining them costs an integer add, so unlike spans they are
+always on.
+
+Names are dotted (``fastpath.hits``, ``engine.blocks_compiled``); the
+Prometheus dump mangles them into the conventional
+``repro_fastpath_hits`` form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Documentation strings for the well-known counters; used as HELP
+#: lines in the Prometheus dump.  Counters not listed here still render
+#: (with no HELP line) — the registry is open.
+COUNTER_HELP = {
+    "fastpath.hits": "call-MAC checks satisfied by the per-site verification cache",
+    "fastpath.misses": "call-MAC checks that paid the full CMAC",
+    "fastpath.invalidations": "verified-site cache entries dropped at process exit/exec",
+    "decode.invalidations": "interpreter decode-cache entries dropped by write-version guards",
+    "engine.blocks_compiled": "basic blocks translated by the threaded engine",
+    "engine.blocks_evicted": "cached translations invalidated by stores or stale guards",
+    "engine.instructions_retired": "guest instructions executed",
+    "engine.syscalls": "traps serviced by the kernel",
+}
+
+
+class MetricsRegistry:
+    """A flat name -> integer counter store."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    # -- mutation --------------------------------------------------------
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to counter ``name`` (creating it at 0)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + delta
+
+    def set(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    def reset(self) -> dict[str, int]:
+        """Zero every counter; returns the pre-reset snapshot."""
+        snapshot = dict(self._counters)
+        self._counters.clear()
+        return snapshot
+
+    # -- reading ---------------------------------------------------------
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    # -- export ----------------------------------------------------------
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """The counters as Prometheus exposition text (one
+        ``# HELP``/``# TYPE``/value triple per counter)."""
+        lines = []
+        for name, value in self:
+            metric = f"{prefix}_{name.replace('.', '_').replace('-', '_')}"
+            help_text = COUNTER_HELP.get(name)
+            if help_text:
+                lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_counters(
+    registry: MetricsRegistry, counters: dict, prefix: Optional[str] = None
+) -> None:
+    """Fold a plain dict of counters into ``registry`` (used to sync
+    engine-local tallies after a run)."""
+    for name, value in counters.items():
+        registry.inc(f"{prefix}.{name}" if prefix else name, value)

@@ -12,7 +12,6 @@ call locations by the basic block that contains the system call").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.isa import Instruction, SymbolRef
 from repro.isa.opcodes import Op

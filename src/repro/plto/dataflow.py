@@ -31,7 +31,6 @@ from typing import Optional, Union
 from repro.isa import SymbolRef
 from repro.isa.opcodes import Op
 from repro.plto.callgraph import CallGraph
-from repro.plto.cfg import ControlFlowGraph
 
 MAX_VALUE_SET = 4
 

@@ -10,7 +10,7 @@ bytes, ``objdump -d`` style, for linked images.
 from __future__ import annotations
 
 from repro.binfmt import SefBinary, link
-from repro.isa import INSTRUCTION_SIZE, decode_instruction, encode_instruction
+from repro.isa import INSTRUCTION_SIZE, decode_instruction
 from repro.plto.disasm import disassemble
 from repro.plto.ir import IrUnit
 

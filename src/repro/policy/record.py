@@ -29,7 +29,7 @@ every field through the encoded policy.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto import MAC_SIZE
 from repro.cpu.memory import Memory

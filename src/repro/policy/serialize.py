@@ -16,7 +16,6 @@ Systrace users diff their policy files.
 from __future__ import annotations
 
 import json
-from typing import Union
 
 from repro.policy.descriptor import ParamClass
 from repro.policy.model import ParamPolicy, ProgramPolicy, SyscallPolicy

@@ -102,13 +102,20 @@ def _cmd_policy_diff(args) -> int:
     return 1 if lines else 0
 
 
-def _cmd_run(args) -> int:
+def _run_under_kernel(args, trace_path: Optional[str] = None):
+    """Shared run/metrics machinery: build the kernel (optionally with
+    a trace recorder attached), execute the binary, relay its output.
+    Returns the (kernel, recorder, result) triple."""
+    from repro.obs import TraceRecorder
+
     binary = _load_binary(args.binary)
+    recorder = TraceRecorder() if trace_path else None
     kernel = Kernel(
         key=_key_from(args),
         mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
         fastpath=not args.no_fastpath,
         engine=args.engine,
+        recorder=recorder,
     )
     for spec in args.file or []:
         path, _, content = spec.partition("=")
@@ -122,6 +129,29 @@ def _cmd_run(args) -> int:
         print(f"[killed] {result.kill_reason}", file=sys.stderr)
         for event in kernel.audit.alerts():
             print(f"[audit] {event.render()}", file=sys.stderr)
+    if trace_path:
+        recorder.write_chrome_trace(trace_path)
+        totals = recorder.stage_totals()
+        traced_ms = recorder.total_traced_ns() / 1e6
+        print(
+            f"[trace] {trace_path}: {len(recorder.spans)} spans, "
+            f"{traced_ms:.2f}ms traced",
+            file=sys.stderr,
+        )
+        for name, entry in sorted(
+            totals.items(), key=lambda item: -item[1]["self_ns"]
+        ):
+            print(
+                f"[trace]   {name:16s} x{entry['count']:<6d} "
+                f"self={entry['self_ns'] / 1e6:8.3f}ms "
+                f"total={entry['total_ns'] / 1e6:8.3f}ms",
+                file=sys.stderr,
+            )
+    return kernel, recorder, result
+
+
+def _cmd_run(args) -> int:
+    kernel, _, result = _run_under_kernel(args, trace_path=args.trace)
     if args.stats:
         print(
             f"[stats] cycles={result.cycles} instructions={result.instructions} "
@@ -130,6 +160,25 @@ def _cmd_run(args) -> int:
         )
         print(f"[stats] {kernel.audit.fastpath.render()}", file=sys.stderr)
     return result.exit_status
+
+
+def _cmd_metrics(args) -> int:
+    """Run a binary and dump the kernel's counter registry in
+    Prometheus exposition format (program output goes to stderr so the
+    metrics text is pipeable)."""
+    stdout = sys.stdout
+    sys.stdout = sys.stderr
+    try:
+        kernel, _, result = _run_under_kernel(args, trace_path=None)
+    finally:
+        sys.stdout = stdout
+    text = kernel.metrics.render_prometheus()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 1 if result.killed else 0
 
 
 def _cmd_attacks(args) -> int:
@@ -236,23 +285,41 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("new")
     cmd.set_defaults(handler=_cmd_policy_diff)
 
+    def _add_run_arguments(cmd):
+        cmd.add_argument("binary")
+        cmd.add_argument("args", nargs="*")
+        cmd.add_argument("--enforce", action="store_true",
+                         help="refuse unauthenticated binaries")
+        cmd.add_argument("--stdin", help="bytes fed to the program's stdin")
+        cmd.add_argument("--file", action="append",
+                         help="pre-populate the VFS: --file /path=content")
+        cmd.add_argument("--no-fastpath", action="store_true",
+                         help="disable the per-site verification cache "
+                              "(every trap pays the full CMAC)")
+        cmd.add_argument("--engine", choices=ENGINES, default="threaded",
+                         help="CPU execution engine: the basic-block "
+                              "translation cache (threaded, default) or the "
+                              "reference interpreter (interp)")
+
     cmd = commands.add_parser("run", help="run under the checking kernel")
-    cmd.add_argument("binary")
-    cmd.add_argument("args", nargs="*")
-    cmd.add_argument("--enforce", action="store_true",
-                     help="refuse unauthenticated binaries")
-    cmd.add_argument("--stdin", help="bytes fed to the program's stdin")
-    cmd.add_argument("--file", action="append",
-                     help="pre-populate the VFS: --file /path=content")
+    _add_run_arguments(cmd)
     cmd.add_argument("--stats", action="store_true")
-    cmd.add_argument("--no-fastpath", action="store_true",
-                     help="disable the per-site verification cache "
-                          "(every trap pays the full CMAC)")
-    cmd.add_argument("--engine", choices=ENGINES, default="threaded",
-                     help="CPU execution engine: the basic-block "
-                          "translation cache (threaded, default) or the "
-                          "reference interpreter (interp)")
+    cmd.add_argument("--trace", metavar="OUT.json",
+                     help="record verification-stage and engine spans; "
+                          "write a Chrome trace-event JSON (load at "
+                          "chrome://tracing or ui.perfetto.dev) and print "
+                          "the per-stage breakdown to stderr")
     cmd.set_defaults(handler=_cmd_run)
+
+    cmd = commands.add_parser(
+        "metrics",
+        help="run a binary and dump runtime counters "
+             "(Prometheus exposition format)",
+    )
+    _add_run_arguments(cmd)
+    cmd.add_argument("-o", "--output",
+                     help="write the metrics dump to a file instead of stdout")
+    cmd.set_defaults(handler=_cmd_metrics)
 
     cmd = commands.add_parser("attacks", help="run the attack battery")
     cmd.set_defaults(handler=_cmd_attacks)

@@ -5,7 +5,6 @@ import pytest
 from repro.binfmt import (
     BinaryFormatError,
     Relocation,
-    SEC_EXEC,
     SEC_READ,
     Section,
     SefBinary,

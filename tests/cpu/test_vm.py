@@ -6,7 +6,6 @@ from repro.asm import assemble
 from repro.binfmt import link
 from repro.cpu import ExecutionFault, Memory, PROT_EXEC, PROT_READ, PROT_WRITE, VM
 from repro.cpu.vm import ProcessExit
-from repro.isa.opcodes import Op
 from repro.isa.registers import SP
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.asm import assemble
 from repro.cpu import ExecutionFault
 from tests.cpu.test_vm import _run, _vm_for
 

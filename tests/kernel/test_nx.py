@@ -10,7 +10,6 @@ why authenticated calls matter even on NX hardware.
 import pytest
 
 from repro.attacks import (
-    mimicry_attack,
     non_control_data_attack,
     shellcode_attack,
 )

@@ -5,7 +5,6 @@ The guest program passes its proof hint in ``r8`` (a pointer to
 with one linear scan; a wrong or missing hint is a fail-stop.
 """
 
-import pytest
 
 from repro.asm import assemble
 from repro.crypto import Key

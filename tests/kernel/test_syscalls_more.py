@@ -1,6 +1,5 @@
 """Long-tail syscall coverage: the calls the big profiles exercise."""
 
-import struct
 
 from repro.kernel.errors import Errno
 from tests.kernel.conftest import run_guest

@@ -7,7 +7,6 @@ garbage at each boundary and assert that only the documented,
 well-typed outcomes occur (never an unhandled Python exception).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

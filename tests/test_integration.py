@@ -5,7 +5,6 @@ import pytest
 from repro import (
     AsmBuilder,
     EnforcementMode,
-    InstallerOptions,
     Kernel,
     Key,
     assemble,

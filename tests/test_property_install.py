@@ -7,7 +7,6 @@ adding MAC protection.  Hypothesis generates random little programs and
 checks the invariant on each.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
