@@ -77,6 +77,33 @@ def _time_run(name: str, engine: str, iterations: int) -> dict:
     }
 
 
+def _time_run_sched(name: str, iterations: int) -> dict:
+    """The same workload as a single process *under the preemptive
+    scheduler* (threaded engine, generous timeslice): the scheduler
+    must be near-free for single-process work — the sched-parity gate
+    in check_wallclock_regression.py enforces it."""
+    binary = install(build_spec_program(name, iterations=iterations),
+                     BENCH_KEY).binary
+    kernel = Kernel(key=BENCH_KEY, engine="threaded")
+    start = time.perf_counter()
+    multi = kernel.run_many(
+        [(binary, [name], b"")],
+        timeslice=1_000_000,
+        max_instructions=500_000_000,
+    )
+    host_seconds = time.perf_counter() - start
+    result = multi.results[0]
+    assert result.ok, (name, "threaded_sched", result.kill_reason)
+    return {
+        "host_seconds": host_seconds,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "syscalls": result.syscalls,
+        "exit_status": result.exit_status,
+        "ips": result.instructions / host_seconds,
+    }
+
+
 def _trace_stages(name: str, engine: str, iterations: int) -> dict:
     """One additional traced run: where the host time goes, decomposed
     into the verification stages of §3.4 plus the engine's own
@@ -124,6 +151,9 @@ def test_host_wallclock(benchmark, report):
                 engine: _time_run(name, engine, iterations)
                 for engine in ENGINES
             }
+            measured[name]["threaded_sched"] = _time_run_sched(
+                name, iterations
+            )
             measured[name]["iterations"] = iterations
         return measured
 
@@ -139,12 +169,15 @@ def test_host_wallclock(benchmark, report):
     for name in workloads:
         interp = measured[name]["interp"]
         threaded = measured[name]["threaded"]
+        sched = measured[name]["threaded_sched"]
         speedup = threaded["ips"] / interp["ips"]
+        sched_parity = sched["ips"] / threaded["ips"]
 
         # Bit-identity on the timed binaries: wall clock may differ,
-        # architecture must not.
+        # architecture must not — including under the scheduler.
         for field in ("instructions", "cycles", "syscalls", "exit_status"):
             assert interp[field] == threaded[field], (name, field)
+            assert interp[field] == sched[field], (name, "sched", field)
 
         rows.append([
             name,
@@ -153,6 +186,7 @@ def test_host_wallclock(benchmark, report):
             f"{interp['ips'] / 1e3:.0f}k",
             f"{threaded['ips'] / 1e3:.0f}k",
             f"{speedup:.2f}x",
+            f"{sched_parity:.2f}x",
         ])
         payload["workloads"][name] = {
             "iterations": measured[name]["iterations"],
@@ -165,7 +199,12 @@ def test_host_wallclock(benchmark, report):
                 "host_seconds": round(threaded["host_seconds"], 4),
                 "instructions_per_second": round(threaded["ips"]),
             },
+            "threaded_sched": {
+                "host_seconds": round(sched["host_seconds"], 4),
+                "instructions_per_second": round(sched["ips"]),
+            },
             "speedup": round(speedup, 2),
+            "sched_parity": round(sched_parity, 3),
             "observability": _trace_stages(
                 name, "threaded", measured[name]["iterations"]
             ),
@@ -178,11 +217,12 @@ def test_host_wallclock(benchmark, report):
 
     table = format_table(
         ["Workload", "Iterations", "Guest instrs",
-         "interp instr/s", "threaded instr/s", "Speedup"],
+         "interp instr/s", "threaded instr/s", "Speedup", "Sched parity"],
         rows,
         title="Host wall-clock throughput: basic-block translation "
               "cache vs reference interpreter "
-              f"(scale={scale}, gate={SPEEDUP_GATE}x at full scale)",
+              f"(scale={scale}, gate={SPEEDUP_GATE}x at full scale; "
+              "sched parity = single process under the scheduler)",
     )
     report("host_wallclock", table)
 

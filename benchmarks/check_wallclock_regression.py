@@ -27,6 +27,11 @@ import sys
 
 DEFAULT_THRESHOLD = 0.7
 
+#: Minimum (scheduled single-process instr/sec) / (bare threaded
+#: instr/sec), both from the CURRENT measurement: the scheduler must
+#: not slow the single-process path down.
+DEFAULT_SCHED_PARITY = 0.95
+
 
 def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     """Returns a list of human-readable regression descriptions."""
@@ -53,6 +58,34 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     return failures
 
 
+def check_sched_parity(current: dict, threshold: float) -> list[str]:
+    """Within the CURRENT measurement only (host-invariant ratio):
+    running single-process under the scheduler must cost ~nothing.
+    Skipped per-workload when the JSON predates the threaded_sched
+    measurement."""
+    failures = []
+    for name, entry in sorted(current.get("workloads", {}).items()):
+        sched = entry.get("threaded_sched")
+        if not sched:
+            print(f"{name:12s} sched parity: not measured [skipped]")
+            continue
+        bare_ips = entry["threaded"]["instructions_per_second"]
+        sched_ips = sched["instructions_per_second"]
+        ratio = sched_ips / bare_ips if bare_ips else float("inf")
+        status = "ok" if ratio >= threshold else "REGRESSION"
+        print(
+            f"{name:12s} bare={bare_ips:>12,} instr/s  "
+            f"sched={sched_ips:>12,} instr/s  parity={ratio:.2f}x  [{status}]"
+        )
+        if ratio < threshold:
+            failures.append(
+                f"{name}: scheduler overhead pushed single-process "
+                f"throughput to {ratio:.2f}x of the bare engine "
+                f"(gate: {threshold}x)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -62,6 +95,11 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="minimum current/baseline instr-per-sec ratio "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--sched-parity-threshold", type=float,
+                        default=DEFAULT_SCHED_PARITY,
+                        help="minimum scheduled/bare single-process ratio "
+                             "within the current measurement "
+                             f"(default {DEFAULT_SCHED_PARITY}; 0 disables)")
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as handle:
@@ -70,6 +108,8 @@ def main(argv=None) -> int:
         current = json.load(handle)
 
     failures = compare(baseline, current, args.threshold)
+    if args.sched_parity_threshold > 0:
+        failures += check_sched_parity(current, args.sched_parity_threshold)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

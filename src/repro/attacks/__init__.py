@@ -21,6 +21,11 @@ program; :mod:`repro.attacks.scenarios` mounts the attacks:
 5. **replay** -- restore a stale ``lastBlock``/``lbMAC`` snapshot.
    Blocked: the kernel-resident counter is a nonce the attacker cannot
    rewind.
+
+:mod:`repro.attacks.crossproc` adds the multiprogramming battery —
+cross-process lastBlock/lbMAC replay, counter confusion after fork,
+and pipe-fed argument tampering — exercising the per-process
+authentication context under the preemptive scheduler.
 """
 
 from repro.attacks.victim import build_victim, build_frankenstein_pair
@@ -33,15 +38,25 @@ from repro.attacks.scenarios import (
     run_all_attacks,
     shellcode_attack,
 )
+from repro.attacks.crossproc import (
+    cross_process_replay_attack,
+    fork_counter_confusion_attack,
+    pipe_fed_tamper_attack,
+    run_cross_process_attacks,
+)
 
 __all__ = [
     "AttackResult",
     "build_frankenstein_pair",
     "build_victim",
+    "cross_process_replay_attack",
+    "fork_counter_confusion_attack",
     "frankenstein_attack",
     "mimicry_attack",
     "non_control_data_attack",
+    "pipe_fed_tamper_attack",
     "replay_attack",
     "run_all_attacks",
+    "run_cross_process_attacks",
     "shellcode_attack",
 ]

@@ -86,6 +86,24 @@ class Memory:
         self._starts.insert(index, start)
         return region
 
+    def adopt_region(self, region: Region) -> Region:
+        """Insert an existing :class:`Region` *by reference* — fork's
+        copy-on-reference sharing for read-only segments.  Parent and
+        child address spaces alias the same object; this is sound for
+        non-writable regions because guest stores are permission-checked
+        and any forced kernel write would bump ``version`` and so
+        invalidate both processes' caches coherently."""
+        end = region.end
+        for existing in self._regions:
+            if region.start < existing.end and existing.start < end:
+                raise ValueError(
+                    f"adopted region {region.name!r} overlaps {existing.name!r}"
+                )
+        index = bisect_right(self._starts, region.start)
+        self._regions.insert(index, region)
+        self._starts.insert(index, region.start)
+        return region
+
     def regions(self) -> list[Region]:
         return list(self._regions)
 

@@ -125,10 +125,16 @@ class BlockCache:
 
     # -- dispatch ------------------------------------------------------
 
-    def run(self, max_instructions: int) -> None:
+    def run(self, max_instructions: int, preempt: bool = False) -> None:
         """Execute until HALT/exit; mirrors the interpreter's budget
         semantics exactly (a block longer than the remaining budget is
-        single-stepped so exhaustion faults at the same PC)."""
+        single-stepped so exhaustion faults at the same PC).
+
+        With ``preempt=True`` an exhausted budget is a timeslice end,
+        not a fault: the engine returns with the architectural state
+        exactly as the interpreter leaves it after the same number of
+        instructions, which is what makes scheduler interleavings
+        engine-independent."""
         vm = self.vm
         lookup = self.lookup
         step = vm.step
@@ -152,6 +158,8 @@ class BlockCache:
             if block.stop:
                 return
             budget -= count
+        if preempt:
+            return
         raise ExecutionFault(vm.pc, "instruction budget exhausted")
 
     # -- cache management ----------------------------------------------

@@ -95,6 +95,7 @@ class VM:
         nx: bool = False,
         engine: str = "interp",
         recorder: Recorder = NULL_RECORDER,
+        map_stack: bool = True,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown execution engine {engine!r}")
@@ -117,13 +118,17 @@ class VM:
         self.kill_reason = ""
 
         self.stack_top = stack_top
-        memory.map_region(
-            stack_top - stack_size,
-            stack_size,
-            PROT_READ | PROT_WRITE,
-            name="[stack]",
-        )
-        self.regs[SP] = stack_top
+        if map_stack:
+            # A forked VM adopts a memory image whose stack (copied
+            # from the parent) is already mapped; it passes
+            # map_stack=False and inherits SP with the register file.
+            memory.map_region(
+                stack_top - stack_size,
+                stack_size,
+                PROT_READ | PROT_WRITE,
+                name="[stack]",
+            )
+            self.regs[SP] = stack_top
 
         #: Decode cache: pc -> (region, region.version at decode time,
         #: decoded instruction).  Entries self-invalidate when the
@@ -293,6 +298,42 @@ class VM:
         if self.exit_status is None:
             raise ExecutionFault(self.pc, "process stopped without exiting")
         return self.exit_status
+
+    def run_slice(self, max_instructions: int) -> None:
+        """Run for at most ``max_instructions``, returning on timeslice
+        exhaustion (preemption) or process end — the scheduler's entry
+        point.  Unlike :meth:`run`, budget exhaustion is not a fault.
+
+        :class:`ProcessExit` is absorbed into the exit fields exactly
+        as in :meth:`run`; the multiprogramming control transfers
+        (``ProcessBlocked``, ``ImageReplaced``) propagate to the
+        scheduler with the span stack rebalanced."""
+        rec = self.recorder
+        traced = rec.enabled
+        if traced:
+            span_depth = rec.open_spans
+            rec.begin("execute", "engine")
+        try:
+            if self.engine == "threaded":
+                from repro.cpu.threaded import BlockCache
+
+                cache = self._block_cache
+                if cache is None:
+                    cache = self._block_cache = BlockCache(self)
+                cache.run(max_instructions, preempt=True)
+            else:
+                budget = max_instructions
+                while budget > 0:
+                    if not self.step():
+                        return
+                    budget -= 1
+        except ProcessExit as exit_info:
+            self.exit_status = exit_info.status
+            self.killed = exit_info.killed
+            self.kill_reason = exit_info.reason
+        finally:
+            if traced:
+                rec.close_to(span_depth)
 
     def _run_interp(self, max_instructions: int) -> None:
         budget = max_instructions

@@ -38,6 +38,7 @@ SIGNATURES: dict[str, SyscallSignature] = {
     s.name: s
     for s in [
         _sig("exit", 1),
+        _sig("fork", 0),
         _sig("read", 3, outputs=(1,), fd_args=(0,)),
         _sig("write", 3, fd_args=(0,)),
         _sig("open", 3, string_args=(0,)),

@@ -23,11 +23,14 @@ from repro.cpu.memory import (
 )
 from repro.cpu.vm import VM, ProcessExit
 from repro.crypto import Key, MacProvider, mac_provider_for_key
+from repro.isa import INSTRUCTION_SIZE
 from repro.kernel.audit import AuditEvent, AuditLog, FastPathStats
 from repro.kernel.auth import AuthChecker, AuthViolation
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
 from repro.kernel.process import Process
+from repro.kernel.sched.blocking import ImageReplaced, ProcessBlocked, WouldBlock
+from repro.kernel.sched.scheduler import MultiRunResult, Scheduler, Task
 from repro.kernel.syscalls import (
     SYSCALL_NAMES,
     SyscallContext,
@@ -130,9 +133,18 @@ class Kernel:
         self.tracer = None
         self._next_pid = 100
         self._vm_process: dict[int, Process] = {}
+        #: Per-pid kernel state.  Keyed by pid (not VM identity) so that
+        #: fork and in-place execve keep a process's capability table,
+        #: mmap cursor, and verified-site cache attached to the process
+        #: across VM replacement.
         self._capabilities: dict[int, CapabilityTable] = {}
         self._mmap_cursor: dict[int, int] = {}
         self._exec_depth = 0
+        #: The active multiprogramming scheduler, if any.  A process is
+        #: "scheduled" when its pid is in the scheduler's task table;
+        #: everything else runs with the original synchronous semantics.
+        self._scheduler: Optional[Scheduler] = None
+        self._next_pipe_ident = 0
 
     # -- loading ----------------------------------------------------------
 
@@ -145,25 +157,7 @@ class Kernel:
     ) -> tuple[Process, VM]:
         """Link, map, and prepare one process (not yet run)."""
         image = link(binary)
-        memory = Memory()
-        for segment in image.segments:
-            if segment.size == 0:
-                continue  # empty sections occupy no pages
-            prot = PROT_READ
-            if segment.flags & 0x2:
-                prot |= PROT_WRITE
-            if segment.flags & 0x4:
-                prot |= PROT_EXEC
-            size = max(segment.size, 1)
-            # Round segment sizes to pages so images stay contiguous.
-            size = (size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
-            memory.map_region(
-                segment.vaddr, size, prot, name=segment.name, data=segment.data
-            )
-
-        heap_base = (image.end + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
-        memory.map_region(heap_base, PAGE_SIZE, PROT_READ | PROT_WRITE, name="[heap]")
-
+        memory, heap_base = self._map_image(image)
         process = Process(
             pid=self._allocate_pid(),
             name=image.metadata.get("program", binary.entry),
@@ -182,11 +176,33 @@ class Kernel:
             recorder=self.obs,
         )
         self._vm_process[id(vm)] = process
-        self._capabilities[id(vm)] = CapabilityTable()
+        self._capabilities[process.pid] = CapabilityTable()
         if self.fastpath:
-            self._authcaches[id(vm)] = VerifiedSiteCache()
+            self._authcaches[process.pid] = VerifiedSiteCache()
         self._setup_argv(vm, argv or [process.name])
         return process, vm
+
+    def _map_image(self, image) -> tuple[Memory, int]:
+        """Map a linked image's segments plus a fresh heap; shared by
+        initial load and scheduled (in-place) execve."""
+        memory = Memory()
+        for segment in image.segments:
+            if segment.size == 0:
+                continue  # empty sections occupy no pages
+            prot = PROT_READ
+            if segment.flags & 0x2:
+                prot |= PROT_WRITE
+            if segment.flags & 0x4:
+                prot |= PROT_EXEC
+            size = max(segment.size, 1)
+            # Round segment sizes to pages so images stay contiguous.
+            size = (size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            memory.map_region(
+                segment.vaddr, size, prot, name=segment.name, data=segment.data
+            )
+        heap_base = (image.end + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        memory.map_region(heap_base, PAGE_SIZE, PROT_READ | PROT_WRITE, name="[heap]")
+        return memory, heap_base
 
     def _setup_argv(self, vm: VM, argv: list[str]) -> None:
         """Push argv strings and the pointer array onto the stack;
@@ -219,18 +235,7 @@ class Kernel:
         try:
             status = vm.run(max_instructions=max_instructions)
         finally:
-            self._vm_process.pop(id(vm), None)
-            self._capabilities.pop(id(vm), None)
-            self._mmap_cursor.pop(id(vm), None)
-            authcache = self._authcaches.pop(id(vm), None)
-            if authcache is not None:
-                # Exit/exec invalidation: cached verifications never
-                # outlive the address space they were observed in.
-                dropped = authcache.invalidate()
-                self.audit.fastpath.invalidations += dropped
-                if self.obs.enabled:
-                    self.obs.inc("fastpath.invalidations", dropped)
-            self._sync_engine_metrics(vm)
+            self.release_process(process, vm)
         return RunResult(
             exit_status=status,
             killed=vm.killed,
@@ -243,6 +248,78 @@ class Kernel:
             process=process,
             vm=vm,
         )
+
+    def run_many(
+        self,
+        programs,
+        timeslice: int = 5000,
+        max_instructions: int = 200_000_000,
+    ) -> MultiRunResult:
+        """Run several programs concurrently under a preemptive
+        round-robin scheduler.
+
+        ``programs`` is a list of :class:`SefBinary` or ``(binary,
+        argv)`` / ``(binary, argv, stdin)`` tuples.  Results come back
+        in spawn order; processes created at runtime (fork/spawn) are
+        reachable through ``result.scheduler.tasks``."""
+        scheduler = Scheduler(
+            self, timeslice=timeslice, max_instructions=max_instructions
+        )
+        top: list[Task] = []
+        for spec in programs:
+            argv: Optional[list[str]] = None
+            stdin = b""
+            if isinstance(spec, tuple):
+                binary = spec[0]
+                if len(spec) > 1:
+                    argv = spec[1]
+                if len(spec) > 2:
+                    stdin = spec[2]
+            else:
+                binary = spec
+            process, vm = self.load(binary, argv=argv, stdin=stdin)
+            top.append(scheduler.adopt(process, vm))
+        scheduler.run()
+        results = [self._task_result(task) for task in top]
+        return MultiRunResult(results=results, scheduler=scheduler)
+
+    def _task_result(self, task: Task) -> RunResult:
+        return RunResult(
+            exit_status=(
+                task.exit_status if task.exit_status is not None else KILL_STATUS
+            ),
+            killed=task.killed,
+            kill_reason=task.kill_reason,
+            stdout=bytes(task.process.stdout),
+            stderr=bytes(task.process.stderr),
+            cycles=task.vm.cycles,
+            instructions=task.vm.instructions_executed,
+            syscalls=task.vm.syscall_count,
+            process=task.process,
+            vm=task.vm,
+        )
+
+    def release_process(self, process: Process, vm: VM, task: Optional[Task] = None) -> None:
+        """Tear down a process's kernel-side state at exit.
+
+        Snapshots the per-pid fast-path cache traffic into the task (if
+        any) before invalidating — the cache never outlives the address
+        space it was observed in."""
+        self._vm_process.pop(id(vm), None)
+        self._capabilities.pop(process.pid, None)
+        self._mmap_cursor.pop(process.pid, None)
+        authcache = self._authcaches.pop(process.pid, None)
+        if authcache is not None:
+            if task is not None:
+                task.fastpath_hits += authcache.hits
+                task.fastpath_misses += authcache.misses
+            # Exit/exec invalidation: cached verifications never
+            # outlive the address space they were observed in.
+            dropped = authcache.invalidate()
+            self.audit.fastpath.invalidations += dropped
+            if self.obs.enabled:
+                self.obs.inc("fastpath.invalidations", dropped)
+        self._sync_engine_metrics(vm)
 
     def _allocate_pid(self) -> int:
         pid = self._next_pid
@@ -304,7 +381,9 @@ class Kernel:
         if traced:
             span_depth = rec.open_spans
         try:
-            result = self._checker.check(vm, process, self._authcaches.get(id(vm)))
+            result = self._checker.check(
+                vm, process, self._authcaches.get(process.pid)
+            )
         except AuthViolation as violation:
             number = vm.regs[0]
             name = SYSCALL_NAMES.get(number, f"syscall#{number}")
@@ -321,13 +400,22 @@ class Kernel:
             rec.inc("fastpath.misses", result.cache_misses)
         if result.fd_mask and self.capability_tracking:
             self._check_capability(vm, process, result)
-        cycles = self._dispatch(vm, process, result.syscall_number, result.block_id)
+        try:
+            cycles = self._dispatch(
+                vm, process, result.syscall_number, result.block_id
+            )
+        except ProcessBlocked as blocked:
+            # The §3.4 checks above already ran (and advanced the
+            # counter); their cost is charged once, when the blocked
+            # dispatch eventually completes.
+            blocked.auth_cycles = result.cycles
+            raise
         return cycles + result.cycles
 
     def _check_capability(self, vm: VM, process: Process, result) -> None:
         """§5.3: each tracked fd argument must descend from a permitted
         producing call site."""
-        table = self._capabilities.get(id(vm))
+        table = self._capabilities.get(process.pid)
         name = SYSCALL_NAMES.get(result.syscall_number, "?")
         for index in range(6):
             if not result.fd_mask & (1 << index):
@@ -348,6 +436,7 @@ class Kernel:
         process: Process,
         number: int,
         block_id: Optional[int] = None,
+        retry: bool = False,
     ) -> int:
         name = SYSCALL_NAMES.get(number)
         if name is None:
@@ -359,17 +448,58 @@ class Kernel:
             vm=vm,
             name=name,
             args=tuple(vm.regs[1:7]),
+            retry=retry,
         )
-        result = dispatch(ctx)
+        try:
+            result = dispatch(ctx)
+        except WouldBlock as would_block:
+            if self.scheduler_owns(process):
+                raise ProcessBlocked(
+                    would_block.wait, number, name, block_id, trap_pc=vm.pc
+                ) from None
+            # Synchronous mode: nobody can ever wake us, so complete
+            # with the handler's non-blocking fallback (which matches
+            # the pre-scheduler stub semantics).
+            result = would_block.fallback & 0xFFFFFFFF
         vm.regs[0] = result
         if self.capability_tracking and block_id is not None:
-            self._track_capability(vm, name, result, block_id)
+            self._track_capability(process, vm, name, result, block_id)
         return self.costs.syscall_cost(name, ctx.transferred)
 
+    def retry_blocked(self, task: Task) -> bool:
+        """Re-run a parked task's blocked dispatch (never the trap — the
+        verification already happened and advanced the counter).  On
+        success the result lands in r0, the deferred verification cost
+        is charged, and the PC advances past the trap; returns False if
+        the wait condition still holds."""
+        pending = task.pending
+        assert pending is not None
+        vm = task.vm
+        try:
+            cost = self._dispatch(
+                vm, task.process, pending.number, pending.block_id, retry=True
+            )
+        except ProcessBlocked:
+            return False
+        vm.cycles += cost + pending.auth_cycles
+        vm.pc = pending.trap_pc + INSTRUCTION_SIZE
+        task.pending = None
+        return True
+
+    def scheduler_owns(self, process: Process) -> bool:
+        """Is this process managed by an active scheduler (as opposed
+        to a synchronous ``Kernel.run`` invocation)?"""
+        scheduler = self._scheduler
+        return scheduler is not None and process.pid in scheduler.tasks
+
+    def allocate_pipe_ident(self) -> int:
+        self._next_pipe_ident += 1
+        return self._next_pipe_ident
+
     def _track_capability(
-        self, vm: VM, name: str, result: int, block_id: int
+        self, process: Process, vm: VM, name: str, result: int, block_id: int
     ) -> None:
-        table = self._capabilities.get(id(vm))
+        table = self._capabilities.get(process.pid)
         if table is None:
             return
         if name in ("open", "socket", "dup", "dup2") and result < 0x8000_0000:
@@ -379,7 +509,7 @@ class Kernel:
             table.revoke(vm.regs[1])
 
     def capability_table(self, vm: VM) -> CapabilityTable:
-        return self._capabilities[id(vm)]
+        return self._capabilities[self._vm_process[id(vm)].pid]
 
     def _kill(self, vm: VM, process: Process, syscall: str, reason: str) -> None:
         self.audit.record(
@@ -405,8 +535,9 @@ class Kernel:
         return seconds, micros
 
     def next_mmap_address(self, vm: VM, size: int) -> int:
-        cursor = self._mmap_cursor.get(id(vm), 0x40000000)
-        self._mmap_cursor[id(vm)] = cursor + size + PAGE_SIZE
+        pid = self._vm_process[id(vm)].pid
+        cursor = self._mmap_cursor.get(pid, 0x40000000)
+        self._mmap_cursor[pid] = cursor + size + PAGE_SIZE
         return cursor
 
     # -- execve ----------------------------------------------------------------
@@ -415,6 +546,35 @@ class Kernel:
         """Install a program file into the VFS so execve can find it."""
         self.vfs.write_file(path, binary.to_bytes())
         self.vfs.chmod(path, 0o755)
+
+    def _resolve_executable(
+        self, process: Process, path: str, syscall: str = "execve"
+    ) -> SefBinary:
+        """Read and validate an executable for execve/spawn: must parse
+        as a SEF binary, and enforcing mode refuses unauthenticated
+        images (audited)."""
+        from repro.kernel.errors import Errno
+        from repro.kernel.vfs import VfsError
+
+        data = self.vfs.read_file(path, cwd=process.cwd)
+        try:
+            binary = SefBinary.from_bytes(bytes(data))
+        except Exception:
+            raise VfsError(Errno.EACCES, path) from None
+        if self.mode is EnforcementMode.ENFORCE and binary.metadata.get(
+            "authenticated"
+        ) != "yes":
+            self.audit.record(
+                AuditEvent(
+                    kind="blocked",
+                    pid=process.pid,
+                    program=process.name,
+                    syscall=syscall,
+                    reason=f"refusing unauthenticated binary {path}",
+                )
+            )
+            raise VfsError(Errno.EPERM, path)
+        return binary
 
     def execve(self, ctx: SyscallContext, path: str, argv=None) -> int:
         """Model image replacement by running the target synchronously.
@@ -426,24 +586,7 @@ class Kernel:
 
         if self._exec_depth >= self.MAX_EXEC_DEPTH:
             raise VfsError(Errno.ELOOP, path)
-        data = self.vfs.read_file(path, cwd=ctx.process.cwd)
-        try:
-            binary = SefBinary.from_bytes(bytes(data))
-        except Exception:
-            raise VfsError(Errno.EACCES, path) from None
-        if self.mode is EnforcementMode.ENFORCE and binary.metadata.get(
-            "authenticated"
-        ) != "yes":
-            self.audit.record(
-                AuditEvent(
-                    kind="blocked",
-                    pid=ctx.process.pid,
-                    program=ctx.process.name,
-                    syscall="execve",
-                    reason=f"refusing unauthenticated binary {path}",
-                )
-            )
-            raise VfsError(Errno.EPERM, path)
+        binary = self._resolve_executable(ctx.process, path)
         self._exec_depth += 1
         try:
             result = self.run(binary, argv=argv or None, cwd=ctx.process.cwd)
@@ -452,3 +595,145 @@ class Kernel:
         ctx.process.stdout.extend(result.stdout)
         ctx.process.stderr.extend(result.stderr)
         return result.exit_status
+
+    # -- multiprogramming services (scheduled processes only) ---------------
+
+    def exec_replace(self, ctx: SyscallContext, path: str, argv=None) -> None:
+        """True in-place execve for a scheduled process: build a fresh
+        VM over a new image, reset the process's authentication context
+        (counter back to 0 — the new image's .polstate starts at its
+        installed epoch), and swap it into the task.  Raises
+        :class:`ImageReplaced` on success (execve does not return)."""
+        process = ctx.process
+        old_vm = ctx.vm
+        binary = self._resolve_executable(process, path)
+        image = link(binary)
+        memory, heap_base = self._map_image(image)
+        new_vm = VM(
+            memory=memory,
+            entry=image.entry,
+            trap_handler=self,
+            nx=self.nx,
+            engine=self.engine,
+            recorder=self.obs,
+        )
+        # Accounting continuity: the scheduler's slice bookkeeping and
+        # the guest-visible clock see one uninterrupted process.
+        new_vm.cycles = old_vm.cycles
+        new_vm.instructions_executed = old_vm.instructions_executed
+        new_vm.syscall_count = old_vm.syscall_count
+        process.name = image.metadata.get("program", binary.entry)
+        process.brk = heap_base
+        process.initial_brk = heap_base
+        process.authenticated = image.metadata.get("authenticated") == "yes"
+        process.auth_counter = 0
+        process.signal_handlers.clear()
+        task = self._scheduler.tasks[process.pid]
+        # Per-pid kernel state: the capability table and verified-site
+        # cache belong to the old image; drop and restart them.
+        self._vm_process.pop(id(old_vm), None)
+        self._vm_process[id(new_vm)] = process
+        self._capabilities[process.pid] = CapabilityTable()
+        self._mmap_cursor.pop(process.pid, None)
+        old_cache = self._authcaches.pop(process.pid, None)
+        if old_cache is not None:
+            task.fastpath_hits += old_cache.hits
+            task.fastpath_misses += old_cache.misses
+            dropped = old_cache.invalidate()
+            self.audit.fastpath.invalidations += dropped
+            if self.obs.enabled:
+                self.obs.inc("fastpath.invalidations", dropped)
+        if self.fastpath:
+            self._authcaches[process.pid] = VerifiedSiteCache()
+        self._setup_argv(new_vm, argv or [process.name])
+        task.vm = new_vm
+        raise ImageReplaced(f"execve {path}")
+
+    def fork_process(self, ctx: SyscallContext) -> int:
+        """Real fork for a scheduled process.
+
+        The address space is duplicated copy-on-reference: read-only
+        regions (code, rodata — including the image's MACed policy
+        records) are shared by reference; writable regions (stack,
+        heap, .data, and crucially the ``.polstate`` lastBlock/lbMAC
+        section) are copied.  The child inherits the parent's
+        ``auth_counter``, which is consistent with the copied polstate
+        because the §3.4 checker re-MACed it *before* this handler ran
+        — from here on the two processes' counters diverge
+        independently, which is exactly the per-process isolation the
+        paper's §3.2 checker provides."""
+        from repro.cpu.memory import PROT_WRITE as _W
+
+        parent = ctx.process
+        parent_vm = ctx.vm
+        scheduler = self._scheduler
+        memory = Memory()
+        for region in parent_vm.memory.regions():
+            if region.prot & _W:
+                memory.map_region(
+                    region.start,
+                    len(region.data),
+                    region.prot,
+                    name=region.name,
+                    data=bytes(region.data),
+                )
+            else:
+                memory.adopt_region(region)
+        child_vm = VM(
+            memory=memory,
+            entry=parent_vm.pc,
+            trap_handler=self,
+            nx=self.nx,
+            engine=self.engine,
+            recorder=self.obs,
+            map_stack=False,  # the copied image already contains [stack]
+        )
+        child_vm.regs[:] = parent_vm.regs
+        child_vm.flag_zero = parent_vm.flag_zero
+        child_vm.flag_neg = parent_vm.flag_neg
+        child_vm.cycles = parent_vm.cycles
+        child_vm.instructions_executed = parent_vm.instructions_executed
+        child_vm.syscall_count = parent_vm.syscall_count
+        child_vm.stack_top = parent_vm.stack_top
+        child_vm.pc = parent_vm.pc + INSTRUCTION_SIZE  # resume past the trap
+        child_vm.regs[0] = 0  # fork() returns 0 in the child
+        child = Process(
+            pid=self._allocate_pid(),
+            name=parent.name,
+            cwd=parent.cwd,
+            fds={fd: desc.dup() for fd, desc in parent.fds.items()},
+            brk=parent.brk,
+            initial_brk=parent.initial_brk,
+            auth_counter=parent.auth_counter,
+            authenticated=parent.authenticated,
+            stdin=parent.stdin,
+            stdin_offset=parent.stdin_offset,
+            signal_handlers=dict(parent.signal_handlers),
+        )
+        self._vm_process[id(child_vm)] = child
+        parent_caps = self._capabilities.get(parent.pid)
+        if parent_caps is not None:
+            self._capabilities[child.pid] = CapabilityTable(
+                by_site={site: set(fds) for site, fds in parent_caps.by_site.items()},
+                owner=dict(parent_caps.owner),
+            )
+        if parent.pid in self._mmap_cursor:
+            self._mmap_cursor[child.pid] = self._mmap_cursor[parent.pid]
+        if self.fastpath:
+            # A fresh per-pid cache: verified sites never leak across
+            # pids, so a cross-process cache-poisoning angle does not
+            # exist by construction (tested).
+            self._authcaches[child.pid] = VerifiedSiteCache()
+        scheduler.adopt(child, child_vm, parent_pid=parent.pid)
+        self.metrics.inc("sched.forks")
+        return child.pid
+
+    def spawn_process(self, ctx: SyscallContext, path: str, argv=None) -> int:
+        """Asynchronous spawn for a scheduled process: load the target
+        as a child task and return its pid immediately (the caller
+        collects it with wait4)."""
+        binary = self._resolve_executable(ctx.process, path, syscall="spawn")
+        process, vm = self.load(binary, argv=argv or None, cwd=ctx.process.cwd)
+        self._scheduler.adopt(process, vm, parent_pid=ctx.process.pid)
+        self.metrics.inc("sched.spawns")
+        return process.pid

@@ -28,7 +28,10 @@ class FileDescription:
     flags: int
     offset: int = 0
     path: str = ""
-    kind: str = "file"  # "file" | "console" | "socket" | "dir"
+    kind: str = "file"  # "file" | "console" | "socket" | "dir" | "pipe"
+    #: Kernel pipe object for kind == "pipe"; endpoint refcounts drive
+    #: writer-close EOF and reader-close EPIPE.
+    pipe: Optional["Pipe"] = None  # noqa: F821 - sched.pipe, no import cycle
 
     @property
     def readable(self) -> bool:
@@ -37,6 +40,25 @@ class FileDescription:
     @property
     def writable(self) -> bool:
         return self.flags & O_ACCMODE in (O_WRONLY, O_RDWR)
+
+    def dup(self) -> "FileDescription":
+        """Duplicate for dup/dup2/fcntl(F_DUPFD)/fork, retaining the
+        pipe endpoint so EOF/EPIPE accounting stays exact."""
+        if self.pipe is not None:
+            self.pipe.retain(self.writable)
+        return FileDescription(
+            inode=self.inode,
+            flags=self.flags,
+            offset=self.offset,
+            path=self.path,
+            kind=self.kind,
+            pipe=self.pipe,
+        )
+
+    def release(self) -> None:
+        """Drop this description's claim on shared kernel objects."""
+        if self.pipe is not None:
+            self.pipe.release(self.writable)
 
 
 @dataclass
@@ -87,4 +109,4 @@ class Process:
     def close_fd(self, number: int) -> None:
         if number not in self.fds:
             raise VfsError(Errno.EBADF)
-        del self.fds[number]
+        self.fds.pop(number).release()

@@ -1,0 +1,26 @@
+"""Multiprogramming subsystem: preemptive scheduling, real fork/wait,
+kernel pipes, and per-process authentication-state isolation."""
+
+from repro.kernel.sched.blocking import ImageReplaced, ProcessBlocked, WouldBlock
+from repro.kernel.sched.pipe import PIPE_CAPACITY, BrokenPipe, Pipe
+from repro.kernel.sched.scheduler import (
+    MultiRunResult,
+    PendingSyscall,
+    Scheduler,
+    Task,
+    TaskState,
+)
+
+__all__ = [
+    "BrokenPipe",
+    "ImageReplaced",
+    "MultiRunResult",
+    "PIPE_CAPACITY",
+    "PendingSyscall",
+    "Pipe",
+    "ProcessBlocked",
+    "Scheduler",
+    "Task",
+    "TaskState",
+    "WouldBlock",
+]

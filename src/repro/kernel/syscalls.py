@@ -29,11 +29,14 @@ from repro.kernel.process import (
     FileDescription,
     Process,
 )
+from repro.kernel.sched.blocking import WouldBlock
+from repro.kernel.sched.pipe import BrokenPipe, Pipe
 from repro.kernel.vfs import VfsError
 
 #: The canonical syscall name -> number table of the simulated OS.
 SYSCALL_NUMBERS: dict[str, int] = {
     "exit": 1,
+    "fork": 2,
     "read": 3,
     "write": 4,
     "open": 5,
@@ -142,6 +145,9 @@ class SyscallContext:
     args: tuple[int, ...]
     #: Bytes moved for per-byte cost accounting (read/write family).
     transferred: int = 0
+    #: True when the scheduler is re-running a dispatch that blocked;
+    #: handlers with once-only side effects (yield, tracing) key on it.
+    retry: bool = False
 
     # -- guest memory helpers -------------------------------------------
 
@@ -188,7 +194,7 @@ def syscall(name: str) -> Callable[[Handler], Handler]:
 def dispatch(ctx: SyscallContext) -> int:
     """Run the handler for ``ctx.name``; map errors to -errno."""
     tracer = getattr(ctx.kernel, "tracer", None)
-    if tracer is not None:
+    if tracer is not None and not ctx.retry:
         tracer.record(ctx)
     handler = _HANDLERS.get(ctx.name)
     if handler is None:
@@ -215,8 +221,23 @@ def _getpid(ctx: SyscallContext) -> int:
     return ctx.process.pid
 
 
+@syscall("fork")
+def _fork(ctx: SyscallContext) -> int:
+    """Real fork — only meaningful under a scheduler (there is no one
+    to run the child otherwise); synchronous mode reports EAGAIN like a
+    kernel that is out of processes."""
+    if not ctx.kernel.scheduler_owns(ctx.process):
+        return Errno.EAGAIN.as_result()
+    return ctx.kernel.fork_process(ctx)
+
+
 @syscall("getppid")
 def _getppid(ctx: SyscallContext) -> int:
+    scheduler = ctx.kernel._scheduler
+    if scheduler is not None:
+        task = scheduler.tasks.get(ctx.process.pid)
+        if task is not None and task.parent_pid is not None:
+            return task.parent_pid
     return 1
 
 
@@ -242,6 +263,17 @@ def _kill(ctx: SyscallContext) -> int:
         if sig == 0:
             return 0
         raise ProcessExit(128 + (sig & 0x7F), killed=True, reason=f"signal {sig}")
+    if ctx.kernel.scheduler_owns(ctx.process):
+        # Cross-process delivery: the target is terminated at its next
+        # schedule point (or wake poll, if blocked).
+        scheduler = ctx.kernel._scheduler
+        if sig == 0:
+            target = scheduler.tasks.get(pid)
+            if target is not None and target.alive:
+                return 0
+            return Errno.ESRCH.as_result()
+        if scheduler.post_signal(pid, sig):
+            return 0
     return Errno.ESRCH.as_result()
 
 
@@ -339,6 +371,16 @@ def _read(ctx: SyscallContext) -> int:
         ctx.process.stdin_offset += len(data)
     elif description.kind == "socket":
         data = b""
+    elif description.kind == "pipe":
+        assert description.pipe is not None
+        if count == 0:
+            data = b""
+        else:
+            # Blocking read under a scheduler; the synchronous fallback
+            # (0 bytes) matches the old file-backed pipe semantics.
+            data = description.pipe.read(
+                count, blocking=ctx.kernel.scheduler_owns(ctx.process)
+            )
     else:
         inode = description.inode
         assert inode is not None
@@ -368,6 +410,16 @@ def _do_write(ctx: SyscallContext, fd: int, data: bytes) -> int:
         target.extend(data)
     elif description.kind == "socket":
         ctx.process.network.append(data)
+    elif description.kind == "pipe":
+        assert description.pipe is not None
+        try:
+            written = description.pipe.write(
+                data, blocking=ctx.kernel.scheduler_owns(ctx.process)
+            )
+        except BrokenPipe:
+            return Errno.EPIPE.as_result()
+        ctx.transferred = written
+        return written
     else:
         inode = description.inode
         assert inode is not None
@@ -416,14 +468,7 @@ def _lseek(ctx: SyscallContext) -> int:
 @syscall("dup")
 def _dup(ctx: SyscallContext) -> int:
     description = ctx.process.fd(ctx.args[0])
-    copy = FileDescription(
-        inode=description.inode,
-        flags=description.flags,
-        offset=description.offset,
-        path=description.path,
-        kind=description.kind,
-    )
-    return ctx.process.allocate_fd(copy)
+    return ctx.process.allocate_fd(description.dup())
 
 
 @syscall("dup2")
@@ -432,13 +477,11 @@ def _dup2(ctx: SyscallContext) -> int:
     description = ctx.process.fd(old)
     if old == new:
         return new
-    ctx.process.fds[new] = FileDescription(
-        inode=description.inode,
-        flags=description.flags,
-        offset=description.offset,
-        path=description.path,
-        kind=description.kind,
-    )
+    if new in ctx.process.fds:
+        # The implicit close of the displaced fd must release its pipe
+        # endpoint (POSIX dup2 semantics).
+        ctx.process.close_fd(new)
+    ctx.process.fds[new] = description.dup()
     return new
 
 
@@ -454,14 +497,7 @@ def _fcntl(ctx: SyscallContext) -> int:
         )
         return 0
     if cmd == F_DUPFD:
-        copy = FileDescription(
-            inode=description.inode,
-            flags=description.flags,
-            offset=description.offset,
-            path=description.path,
-            kind=description.kind,
-        )
-        return ctx.process.allocate_fd(copy)
+        return ctx.process.allocate_fd(description.dup())
     return Errno.EINVAL.as_result()
 
 
@@ -719,17 +755,18 @@ def _sendto(ctx: SyscallContext) -> int:
 
 @syscall("pipe")
 def _pipe(ctx: SyscallContext) -> int:
-    # Single-process kernel: a pipe is a file-backed buffer pair.
+    """A kernel pipe object: FIFO buffer with reference-counted read
+    and write endpoints (writer-close EOF, reader-close EPIPE).  The
+    fd API is unchanged from the old file-backed fake."""
     from repro.kernel.process import O_RDONLY, O_WRONLY
-    from repro.kernel.vfs import Inode
 
-    backing = Inode(kind="file", mode=0o600)
-    read_fd = ctx.process.allocate_fd(
-        FileDescription(backing, O_RDONLY, kind="file", path="<pipe>")
-    )
-    write_fd = ctx.process.allocate_fd(
-        FileDescription(backing, O_WRONLY, kind="file", path="<pipe>")
-    )
+    channel = Pipe(ident=ctx.kernel.allocate_pipe_ident())
+    read_end = FileDescription(None, O_RDONLY, kind="pipe", path="<pipe>", pipe=channel)
+    channel.retain(writer=False)
+    write_end = FileDescription(None, O_WRONLY, kind="pipe", path="<pipe>", pipe=channel)
+    channel.retain(writer=True)
+    read_fd = ctx.process.allocate_fd(read_end)
+    write_fd = ctx.process.allocate_fd(write_end)
     ctx.write_buffer(ctx.args[0], struct.pack("<II", read_fd, write_fd))
     return 0
 
@@ -759,20 +796,28 @@ def _read_argv(ctx: SyscallContext, table: int) -> list:
 def _execve(ctx: SyscallContext) -> int:
     path = ctx.read_path(ctx.args[0])
     argv = _read_argv(ctx, ctx.args[1]) if ctx.args[1] else []
+    if ctx.kernel.scheduler_owns(ctx.process):
+        # True image replacement: raises ImageReplaced on success, so
+        # execve never returns to the old image.
+        ctx.kernel.exec_replace(ctx, path, argv)
+        raise AssertionError("unreachable")  # pragma: no cover
     status = ctx.kernel.execve(ctx, path, argv)
-    # execve does not return on success; the kernel models "replace the
-    # image" by running the new program to completion and exiting the
-    # caller with its status.
+    # Synchronous mode models "replace the image" by running the new
+    # program to completion and exiting the caller with its status.
     raise ProcessExit(status, reason=f"execve {path}")
 
 
 @syscall("spawn")
 def _spawn(ctx: SyscallContext) -> int:
-    """posix_spawn-style synchronous child execution (this kernel has
-    no fork); returns the child's exit status.  The enforcement-mode
-    rules of execve apply to the target binary."""
+    """posix_spawn-style child execution.  Under a scheduler the child
+    runs asynchronously and the pid is returned for wait4 to collect;
+    synchronously the child runs to completion and the low byte of its
+    exit status is returned (the historical stub semantics).  The
+    enforcement-mode rules of execve apply to the target binary."""
     path = ctx.read_path(ctx.args[0])
     argv = _read_argv(ctx, ctx.args[1]) if ctx.args[1] else []
+    if ctx.kernel.scheduler_owns(ctx.process):
+        return ctx.kernel.spawn_process(ctx, path, argv)
     return ctx.kernel.execve(ctx, path, argv) & 0xFF
 
 
@@ -1032,12 +1077,48 @@ def _getgroups(ctx: SyscallContext) -> int:
 
 @syscall("sched_yield")
 def _sched_yield(ctx: SyscallContext) -> int:
+    if ctx.kernel.scheduler_owns(ctx.process) and not ctx.retry:
+        # Park once; the very next wake poll completes the call (the
+        # retry path returns 0 below), re-queueing the caller at the
+        # tail of the run queue — a real yield, not a no-op.
+        ctx.kernel.metrics.inc("sched.yields")
+        raise WouldBlock("yield", fallback=0)
     return 0
+
+
+def _encode_wstatus(task) -> int:
+    """POSIX wait-status encoding: termination signal in the low 7
+    bits for killed processes, exit status in bits 8-15 otherwise."""
+    if task.killed:
+        return (task.exit_status - 128) & 0x7F
+    return (task.exit_status & 0xFF) << 8
 
 
 @syscall("wait4")
 def _wait4(ctx: SyscallContext) -> int:
-    return Errno.ECHILD.as_result()  # no children in this kernel
+    if not ctx.kernel.scheduler_owns(ctx.process):
+        return Errno.ECHILD.as_result()  # no children without a scheduler
+    scheduler = ctx.kernel._scheduler
+    pid_arg = ctx.args[0]
+    status_ptr = ctx.args[1]
+    options = ctx.args[2]
+    pid_spec = pid_arg - 0x1_0000_0000 if pid_arg & 0x8000_0000 else pid_arg
+    found = scheduler.find_zombie(ctx.process.pid, pid_spec)
+    if found is None:
+        return Errno.ECHILD.as_result()
+    if found == "waiting":
+        if options & 1:  # WNOHANG
+            return 0
+        raise WouldBlock(
+            f"wait:{pid_spec}", fallback=Errno.ECHILD.as_result()
+        )
+    from repro.kernel.sched.scheduler import TaskState
+
+    if status_ptr:
+        ctx.write_buffer(status_ptr, struct.pack("<I", _encode_wstatus(found)))
+    found.state = TaskState.REAPED
+    ctx.kernel.metrics.inc("sched.zombies_reaped")
+    return found.pid
 
 
 @syscall("mlock")
@@ -1061,8 +1142,17 @@ def _readv(ctx: SyscallContext) -> int:
         inner = SyscallContext(
             kernel=ctx.kernel, process=ctx.process, vm=ctx.vm,
             name="read", args=(fd, base, length, 0, 0, 0),
+            retry=ctx.retry,
         )
-        result = dispatch(inner)
+        try:
+            result = dispatch(inner)
+        except WouldBlock:
+            if total:
+                # Data already consumed (a pipe drained mid-vector):
+                # return the partial count instead of blocking, so a
+                # retry can never re-read bytes the guest already has.
+                break
+            raise
         if result >= 0xFFFFF001:
             return result
         total += result

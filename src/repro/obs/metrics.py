@@ -28,6 +28,20 @@ COUNTER_HELP = {
     "engine.blocks_evicted": "cached translations invalidated by stores or stale guards",
     "engine.instructions_retired": "guest instructions executed",
     "engine.syscalls": "traps serviced by the kernel",
+    "sched.context_switches": "times the scheduler switched to a different pid",
+    "sched.preemptions": "timeslices ended by budget exhaustion",
+    "sched.blocks": "dispatches parked on a wait condition",
+    "sched.wakeups": "blocked dispatches completed by the wake poll",
+    "sched.yields": "sched_yield calls that requeued the caller",
+    "sched.forks": "processes created by fork",
+    "sched.spawns": "processes created by asynchronous spawn",
+    "sched.execs": "in-place image replacements by execve",
+    "sched.exits": "scheduled processes that terminated",
+    "sched.zombies": "exited processes held for a parent's wait4",
+    "sched.zombies_reaped": "zombies collected by wait4 or orphan auto-reap",
+    "sched.signal_kills": "processes terminated by a cross-process signal",
+    "sched.deadlock_kills": "blocked processes fail-stopped by the deadlock breaker",
+    "sched.runq_peak": "largest observed run-queue length",
 }
 
 

@@ -122,13 +122,43 @@ def _run_under_kernel(args, trace_path: Optional[str] = None):
         kernel.vfs.write_file(path, content.encode())
     stdin = args.stdin.encode() if args.stdin else b""
     argv = [binary.metadata.get("program", "a.out")] + (args.args or [])
-    result = kernel.run(binary, argv=argv, stdin=stdin)
-    sys.stdout.write(result.stdout.decode("utf-8", "replace"))
-    sys.stderr.write(result.stderr.decode("utf-8", "replace"))
-    if result.killed:
-        print(f"[killed] {result.kill_reason}", file=sys.stderr)
-        for event in kernel.audit.alerts():
-            print(f"[audit] {event.render()}", file=sys.stderr)
+    procs = getattr(args, "procs", 0) or 0
+    if procs > 0:
+        multi = kernel.run_many(
+            [(binary, argv, stdin)] * procs,
+            timeslice=getattr(args, "timeslice", 5000) or 5000,
+        )
+        for index, instance in enumerate(multi.results):
+            prefix = f"[pid {instance.process.pid}] " if procs > 1 else ""
+            for line in instance.stdout.decode("utf-8", "replace").splitlines():
+                sys.stdout.write(f"{prefix}{line}\n")
+            sys.stderr.write(instance.stderr.decode("utf-8", "replace"))
+            if instance.killed:
+                print(
+                    f"[killed] pid {instance.process.pid}: "
+                    f"{instance.kill_reason}",
+                    file=sys.stderr,
+                )
+        if any(instance.killed for instance in multi.results):
+            for event in kernel.audit.alerts():
+                print(f"[audit] {event.render()}", file=sys.stderr)
+        print(
+            f"[sched] {procs} processes, "
+            f"{len(multi.scheduler.tasks)} tasks total, "
+            f"{kernel.metrics.get('sched.context_switches')} context switches, "
+            f"{kernel.metrics.get('sched.preemptions')} preemptions, "
+            f"{kernel.metrics.get('sched.blocks')} blocks",
+            file=sys.stderr,
+        )
+        result = multi.results[0]
+    else:
+        result = kernel.run(binary, argv=argv, stdin=stdin)
+        sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+        sys.stderr.write(result.stderr.decode("utf-8", "replace"))
+        if result.killed:
+            print(f"[killed] {result.kill_reason}", file=sys.stderr)
+            for event in kernel.audit.alerts():
+                print(f"[audit] {event.render()}", file=sys.stderr)
     if trace_path:
         recorder.write_chrome_trace(trace_path)
         totals = recorder.stage_totals()
@@ -182,7 +212,7 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_attacks(args) -> int:
-    from repro.attacks import run_all_attacks
+    from repro.attacks import run_all_attacks, run_cross_process_attacks
 
     # The battery runs under BOTH execution engines: the verdicts are a
     # security property and must not depend on how the CPU is emulated.
@@ -197,6 +227,18 @@ def _cmd_attacks(args) -> int:
             marker = "ok" if result.blocked == expected_block else "UNEXPECTED"
             print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
             if result.blocked != expected_block:
+                failures += 1
+    # Multiprogramming battery: cross-process attacks under the
+    # preemptive scheduler.  Every one of these must be blocked.
+    for engine in ENGINES:
+        results = run_cross_process_attacks(_key_from(args), engine=engine)
+        width = max(len(r.name) for r in results)
+        print(f"-- engine: {engine} (cross-process)")
+        for result in results:
+            status = "BLOCKED" if result.blocked else "succeeded"
+            marker = "ok" if result.blocked else "UNEXPECTED"
+            print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
+            if not result.blocked:
                 failures += 1
     return 1 if failures else 0
 
@@ -303,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("run", help="run under the checking kernel")
     _add_run_arguments(cmd)
+    cmd.add_argument("--procs", type=int, default=0, metavar="N",
+                     help="run N instances concurrently under the "
+                          "preemptive scheduler (enables fork/wait/pipes)")
+    cmd.add_argument("--timeslice", type=int, default=5000,
+                     help="instructions per scheduler timeslice "
+                          "(with --procs; default 5000)")
     cmd.add_argument("--stats", action="store_true")
     cmd.add_argument("--trace", metavar="OUT.json",
                      help="record verification-stage and engine spans; "

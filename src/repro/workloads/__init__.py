@@ -33,6 +33,7 @@ from repro.workloads.profiles import (
 )
 from repro.workloads.spec import SPEC_PROGRAMS, build_spec_program
 from repro.workloads.andrew import AndrewBenchmark
+from repro.workloads.multiproc import build_server, server_source
 
 __all__ = [
     "AndrewBenchmark",
@@ -41,8 +42,10 @@ __all__ = [
     "SyscallAbi",
     "TOOLS",
     "build_profile_program",
+    "build_server",
     "build_spec_program",
     "build_tool",
     "profile_syscalls",
     "runtime_source",
+    "server_source",
 ]

@@ -1,0 +1,52 @@
+"""Scheduler determinism: the CI gate's contract.
+
+Two runs with the same programs and timeslice must produce identical
+interleavings, exit statuses, and scheduler metrics — and the property
+must hold ACROSS engines, because both account instructions
+identically."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.workloads.multiproc import build_server
+
+
+def _run(engine: str, timeslice: int = 500):
+    kernel = Kernel(engine=engine)
+    multi = kernel.run_many(
+        [build_server(workers=4, requests=16)], timeslice=timeslice
+    )
+    sched_metrics = {
+        name: value
+        for name, value in kernel.metrics.snapshot().items()
+        if name.startswith("sched.")
+    }
+    statuses = {
+        pid: task.exit_status for pid, task in multi.scheduler.tasks.items()
+    }
+    return multi.scheduler.interleaving, statuses, sched_metrics
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("engine", ["interp", "threaded"])
+    def test_repeated_runs_identical(self, engine):
+        first = _run(engine)
+        second = _run(engine)
+        assert first == second
+
+    def test_cross_engine_identical(self):
+        """The acceptance property: interp and threaded consume
+        exactly the same instruction counts per slice, so a
+        multiprogrammed run schedules identically on both."""
+        interleaving_i, statuses_i, metrics_i = _run("interp")
+        interleaving_t, statuses_t, metrics_t = _run("threaded")
+        assert interleaving_i == interleaving_t
+        assert statuses_i == statuses_t
+        assert metrics_i == metrics_t
+
+    def test_timeslice_changes_interleaving_but_not_results(self):
+        _, statuses_a, _ = _run("threaded", timeslice=500)
+        interleaving_b, statuses_b, _ = _run("threaded", timeslice=2000)
+        interleaving_a, _, _ = _run("threaded", timeslice=500)
+        assert statuses_a == statuses_b
+        assert interleaving_a != interleaving_b

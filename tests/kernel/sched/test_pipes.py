@@ -1,0 +1,175 @@
+"""Kernel pipe objects: the Pipe primitive and the fd-level plumbing."""
+
+import pytest
+
+from repro.kernel.sched.blocking import WouldBlock
+from repro.kernel.sched.pipe import PIPE_CAPACITY, BrokenPipe, Pipe
+
+from tests.kernel.sched.conftest import run_sched_guest
+
+
+class TestPipePrimitive:
+    def _pipe(self):
+        pipe = Pipe(ident=0)
+        pipe.retain(writer=False)
+        pipe.retain(writer=True)
+        return pipe
+
+    def test_roundtrip(self):
+        pipe = self._pipe()
+        assert pipe.write(b"hello", blocking=True) == 5
+        assert pipe.read(5, blocking=True) == b"hello"
+
+    def test_short_read_drains_what_is_there(self):
+        pipe = self._pipe()
+        pipe.write(b"abc", blocking=True)
+        assert pipe.read(100, blocking=True) == b"abc"
+
+    def test_empty_read_blocks_while_writers_exist(self):
+        pipe = self._pipe()
+        with pytest.raises(WouldBlock):
+            pipe.read(1, blocking=True)
+
+    def test_empty_read_is_eof_after_writers_close(self):
+        pipe = self._pipe()
+        pipe.release(writer=True)
+        assert pipe.read(1, blocking=True) == b""
+
+    def test_buffered_data_survives_writer_close(self):
+        pipe = self._pipe()
+        pipe.write(b"tail", blocking=True)
+        pipe.release(writer=True)
+        assert pipe.read(10, blocking=True) == b"tail"
+        assert pipe.read(10, blocking=True) == b""
+
+    def test_write_without_readers_breaks(self):
+        pipe = self._pipe()
+        pipe.release(writer=False)
+        with pytest.raises(BrokenPipe):
+            pipe.write(b"x", blocking=True)
+
+    def test_full_pipe_blocks_blocking_writer(self):
+        pipe = self._pipe()
+        pipe.write(b"x" * PIPE_CAPACITY, blocking=True)
+        with pytest.raises(WouldBlock):
+            pipe.write(b"y", blocking=True)
+
+    def test_partial_write_accepts_available_space(self):
+        pipe = self._pipe()
+        pipe.write(b"x" * (PIPE_CAPACITY - 3), blocking=True)
+        assert pipe.write(b"abcdef", blocking=True) == 3
+
+    def test_nonblocking_read_returns_empty(self):
+        pipe = self._pipe()
+        assert pipe.read(8, blocking=False) == b""
+
+    def test_nonblocking_write_is_unbounded(self):
+        pipe = self._pipe()
+        assert pipe.write(b"z" * (PIPE_CAPACITY + 10), blocking=False) == (
+            PIPE_CAPACITY + 10
+        )
+
+
+PIPE_DATA = """
+.section .rodata
+msg:
+    .ascii "hi"
+.section .data
+pfd:
+    .space 8
+.section .bss
+buf:
+    .space 16
+"""
+
+
+class TestPipeSyscalls:
+    def test_sync_roundtrip(self, kernel):
+        """The same fd API works without a scheduler (the old
+        file-backed pipe contract): write then read back."""
+        from tests.kernel.conftest import run_guest
+
+        result = run_guest(kernel, """
+    li r1, pfd
+    call sys_pipe
+    li r9, pfd
+    ld r1, [r9+4]
+    li r2, msg
+    li r3, 2
+    call sys_write
+    li r9, pfd
+    ld r1, [r9+0]
+    li r2, buf
+    li r3, 16
+    call sys_read
+    mov r1, r0
+    call sys_exit
+""", ["pipe", "read", "write"], data=PIPE_DATA)
+        assert result.exit_status == 2
+
+    def test_sync_empty_read_returns_zero(self, kernel):
+        from tests.kernel.conftest import run_guest
+
+        result = run_guest(kernel, """
+    li r1, pfd
+    call sys_pipe
+    li r9, pfd
+    ld r1, [r9+0]
+    li r2, buf
+    li r3, 16
+    call sys_read
+    mov r1, r0
+    call sys_exit
+""", ["pipe", "read"], data=PIPE_DATA)
+        assert result.exit_status == 0
+
+    def test_scheduled_roundtrip(self, kernel):
+        multi = run_sched_guest(kernel, """
+    li r1, pfd
+    call sys_pipe
+    li r9, pfd
+    ld r1, [r9+4]
+    li r2, msg
+    li r3, 2
+    call sys_write
+    li r9, pfd
+    ld r1, [r9+0]
+    li r2, buf
+    li r3, 16
+    call sys_read
+    mov r1, r0
+    call sys_exit
+""", ["pipe", "read", "write"], data=PIPE_DATA)
+        assert multi.results[0].exit_status == 2
+
+    def test_dup_keeps_write_end_alive(self, kernel):
+        """dup the write end, close the original: the reader must NOT
+        see EOF (refcount 1 remains), so a sync read returns 0 bytes
+        rather than failing."""
+        from tests.kernel.conftest import run_guest
+
+        result = run_guest(kernel, """
+    li r1, pfd
+    call sys_pipe
+    li r9, pfd
+    ld r1, [r9+4]
+    call sys_dup
+    li r9, pfd
+    ld r1, [r9+4]
+    call sys_close
+    ; write through the dup'd fd, read it back
+    li r9, pfd
+    ld r1, [r9+4]
+    addi r1, r1, 1       ; dup allocated the next free fd
+    li r2, msg
+    li r3, 2
+    call sys_write
+    li r9, pfd
+    ld r1, [r9+0]
+    li r2, buf
+    li r3, 16
+    call sys_read
+    mov r1, r0
+    call sys_exit
+""", ["pipe", "dup", "close", "read", "write"], data=PIPE_DATA)
+        assert result.exit_status == 2

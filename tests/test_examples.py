@@ -10,6 +10,7 @@ EXAMPLES = [
     "attack_demo",
     "extensions_tour",
     "protected_system",
+    "multiprocess_server",
 ]
 
 
