@@ -1,11 +1,25 @@
-"""Host wall-clock throughput: threaded engine vs the interpreter.
+"""Host wall-clock throughput: interpreter vs threaded engine vs
+threaded engine with direct block chaining.
 
 Every other benchmark in this suite measures *simulated* cycles, which
 are engine-invariant by construction.  This one measures what the
-tentpole optimisation actually buys: real host instructions/second for
-the two execution engines on three CPU-bound macro workloads.  It also
-re-checks the engines' bit-identity contract on the exact binaries it
-times (same cycles, instructions, syscalls, exit status).
+tentpole optimisations actually buy: real host instructions/second for
+the execution engine configurations on three CPU-bound macro
+workloads.  It also re-checks the engines' bit-identity contract on
+the exact binaries it times (same cycles, instructions, syscalls, exit
+status) — across the interpreter, the plain threaded engine, the
+chained threaded engine, and a run under the preemptive scheduler.
+
+Columns:
+
+- ``interp`` — the reference interpreter.
+- ``threaded`` — per-block dispatch, chaining disabled (``chain=False``,
+  i.e. the PR 2 engine).  Kept as its own column so the chaining
+  speedup is measured against a stable baseline.
+- ``threaded_chained`` — direct block chaining + superblock fusion
+  (the default engine configuration).
+- ``threaded_sched`` — the chained engine under the preemptive
+  scheduler with a generous timeslice (sched-parity gate).
 
 Results are archived twice: the human-readable table under
 ``benchmarks/results/`` like every other bench, and a machine-readable
@@ -20,9 +34,10 @@ Knobs:
 - ``REPRO_WALLCLOCK_WORKLOADS`` (comma-separated names) restricts the
   workload list — the CI smoke job times only ``gzip-spec``.
 
-The >=3x speedup gate is enforced at full scale; scaled-down smoke
-runs only require that the threaded engine is never *slower* (tiny
-workloads are dominated by load/install time, not execution).
+The speedup gates are enforced at full scale; scaled-down smoke runs
+only require that a faster configuration is never *slower* than
+the interpreter (tiny workloads are dominated by load/install time,
+not execution).
 """
 
 import json
@@ -40,13 +55,21 @@ from repro.workloads.spec import SPEC_PROGRAMS, build_spec_program
 from benchmarks.conftest import BENCH_KEY, bench_scale
 
 WORKLOADS = ("gzip-spec", "crafty", "twolf")
-ENGINES = ("interp", "threaded")
 
 JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_host_wallclock.json"
 
-#: Tentpole acceptance gate: guest instructions/sec under the threaded
-#: engine must be at least this multiple of the interpreter's.
+#: PR 2 acceptance gate: guest instructions/sec under the plain
+#: threaded engine must be at least this multiple of the interpreter's
+#: (all workloads, full scale).
 SPEEDUP_GATE = 3.0
+
+#: PR 6 acceptance gates, measured on ``CHAIN_GATE_WORKLOAD`` at full
+#: scale: the chained engine must beat the interpreter by
+#: ``CHAINED_VS_INTERP_GATE`` and the plain threaded engine by
+#: ``CHAINED_VS_THREADED_GATE``.
+CHAIN_GATE_WORKLOAD = "gzip-spec"
+CHAINED_VS_INTERP_GATE = 5.0
+CHAINED_VS_THREADED_GATE = 1.3
 
 
 def _selected_workloads() -> tuple:
@@ -59,14 +82,14 @@ def _selected_workloads() -> tuple:
     return names
 
 
-def _time_run(name: str, engine: str, iterations: int) -> dict:
+def _time_run(name: str, engine: str, iterations: int, chain: bool) -> dict:
     binary = install(build_spec_program(name, iterations=iterations),
                      BENCH_KEY).binary
-    kernel = Kernel(key=BENCH_KEY, engine=engine)
+    kernel = Kernel(key=BENCH_KEY, engine=engine, chain=chain)
     start = time.perf_counter()
     result = kernel.run(binary, argv=[name], max_instructions=500_000_000)
     host_seconds = time.perf_counter() - start
-    assert result.ok, (name, engine, result.kill_reason)
+    assert result.ok, (name, engine, chain, result.kill_reason)
     return {
         "host_seconds": host_seconds,
         "instructions": result.instructions,
@@ -79,9 +102,9 @@ def _time_run(name: str, engine: str, iterations: int) -> dict:
 
 def _time_run_sched(name: str, iterations: int) -> dict:
     """The same workload as a single process *under the preemptive
-    scheduler* (threaded engine, generous timeslice): the scheduler
-    must be near-free for single-process work — the sched-parity gate
-    in check_wallclock_regression.py enforces it."""
+    scheduler* (chained threaded engine, generous timeslice): the
+    scheduler must be near-free for single-process work — the
+    sched-parity gate in check_wallclock_regression.py enforces it."""
     binary = install(build_spec_program(name, iterations=iterations),
                      BENCH_KEY).binary
     kernel = Kernel(key=BENCH_KEY, engine="threaded")
@@ -107,7 +130,7 @@ def _time_run_sched(name: str, iterations: int) -> dict:
 def _trace_stages(name: str, engine: str, iterations: int) -> dict:
     """One additional traced run: where the host time goes, decomposed
     into the verification stages of §3.4 plus the engine's own
-    compile/execute split (the paper's Tables 4-6 argument, but
+    compile/chain/execute split (the paper's Tables 4-6 argument, but
     measured instead of asserted).  Untimed runs stay recorder-free so
     tracing overhead never pollutes the instr/sec numbers."""
     binary = install(build_spec_program(name, iterations=iterations),
@@ -148,13 +171,14 @@ def test_host_wallclock(benchmark, report):
             planned, _ = SPEC_PROGRAMS[name].plan()
             iterations = max(2, int(planned * scale))
             measured[name] = {
-                engine: _time_run(name, engine, iterations)
-                for engine in ENGINES
+                "interp": _time_run(name, "interp", iterations, chain=True),
+                "threaded": _time_run(name, "threaded", iterations,
+                                      chain=False),
+                "threaded_chained": _time_run(name, "threaded", iterations,
+                                              chain=True),
+                "threaded_sched": _time_run_sched(name, iterations),
+                "iterations": iterations,
             }
-            measured[name]["threaded_sched"] = _time_run_sched(
-                name, iterations
-            )
-            measured[name]["iterations"] = iterations
         return measured
 
     measured = benchmark.pedantic(run_suite, rounds=1, iterations=1)
@@ -164,19 +188,27 @@ def test_host_wallclock(benchmark, report):
         "benchmark": "host_wallclock",
         "scale": scale,
         "speedup_gate": SPEEDUP_GATE,
+        "chained_vs_interp_gate": CHAINED_VS_INTERP_GATE,
+        "chained_vs_threaded_gate": CHAINED_VS_THREADED_GATE,
+        "chain_gate_workload": CHAIN_GATE_WORKLOAD,
         "workloads": {},
     }
     for name in workloads:
         interp = measured[name]["interp"]
         threaded = measured[name]["threaded"]
+        chained = measured[name]["threaded_chained"]
         sched = measured[name]["threaded_sched"]
         speedup = threaded["ips"] / interp["ips"]
-        sched_parity = sched["ips"] / threaded["ips"]
+        chained_speedup = chained["ips"] / interp["ips"]
+        chain_gain = chained["ips"] / threaded["ips"]
+        sched_parity = sched["ips"] / chained["ips"]
 
         # Bit-identity on the timed binaries: wall clock may differ,
-        # architecture must not — including under the scheduler.
+        # architecture must not — including with chaining and under
+        # the scheduler.
         for field in ("instructions", "cycles", "syscalls", "exit_status"):
             assert interp[field] == threaded[field], (name, field)
+            assert interp[field] == chained[field], (name, "chained", field)
             assert interp[field] == sched[field], (name, "sched", field)
 
         rows.append([
@@ -185,7 +217,10 @@ def test_host_wallclock(benchmark, report):
             interp["instructions"],
             f"{interp['ips'] / 1e3:.0f}k",
             f"{threaded['ips'] / 1e3:.0f}k",
+            f"{chained['ips'] / 1e3:.0f}k",
             f"{speedup:.2f}x",
+            f"{chained_speedup:.2f}x",
+            f"{chain_gain:.2f}x",
             f"{sched_parity:.2f}x",
         ])
         payload["workloads"][name] = {
@@ -199,30 +234,49 @@ def test_host_wallclock(benchmark, report):
                 "host_seconds": round(threaded["host_seconds"], 4),
                 "instructions_per_second": round(threaded["ips"]),
             },
+            "threaded_chained": {
+                "host_seconds": round(chained["host_seconds"], 4),
+                "instructions_per_second": round(chained["ips"]),
+            },
             "threaded_sched": {
                 "host_seconds": round(sched["host_seconds"], 4),
                 "instructions_per_second": round(sched["ips"]),
             },
             "speedup": round(speedup, 2),
+            "chained_speedup": round(chained_speedup, 2),
+            "chain_gain": round(chain_gain, 2),
             "sched_parity": round(sched_parity, 3),
             "observability": _trace_stages(
                 name, "threaded", measured[name]["iterations"]
             ),
         }
 
-        # The gate: never slower; >=3x at full scale.
-        assert speedup >= 1.0, (name, speedup)
+        # The gates: never slower than the interpreter; the full-scale
+        # ratios are enforced per workload / per column.
+        assert speedup >= 1.0, (name, "threaded", speedup)
+        assert chained_speedup >= 1.0, (name, "threaded_chained",
+                                        chained_speedup)
         if scale >= 1.0:
-            assert speedup >= SPEEDUP_GATE, (name, speedup)
+            assert speedup >= SPEEDUP_GATE, (name, "threaded", speedup)
+            if name == CHAIN_GATE_WORKLOAD:
+                assert chained_speedup >= CHAINED_VS_INTERP_GATE, (
+                    name, "threaded_chained vs interp", chained_speedup)
+                assert chain_gain >= CHAINED_VS_THREADED_GATE, (
+                    name, "threaded_chained vs threaded", chain_gain)
 
     table = format_table(
         ["Workload", "Iterations", "Guest instrs",
-         "interp instr/s", "threaded instr/s", "Speedup", "Sched parity"],
+         "interp instr/s", "threaded instr/s", "chained instr/s",
+         "Thr/interp", "Chain/interp", "Chain/thr", "Sched parity"],
         rows,
-        title="Host wall-clock throughput: basic-block translation "
-              "cache vs reference interpreter "
-              f"(scale={scale}, gate={SPEEDUP_GATE}x at full scale; "
-              "sched parity = single process under the scheduler)",
+        title="Host wall-clock throughput: translation cache and "
+              "direct block chaining vs reference interpreter "
+              f"(scale={scale}; full-scale gates: threaded>="
+              f"{SPEEDUP_GATE}x interp, chained>="
+              f"{CHAINED_VS_INTERP_GATE}x interp and >="
+              f"{CHAINED_VS_THREADED_GATE}x threaded on "
+              f"{CHAIN_GATE_WORKLOAD}; sched parity = single process "
+              "under the scheduler vs chained)",
     )
     report("host_wallclock", table)
 

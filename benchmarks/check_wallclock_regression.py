@@ -1,10 +1,13 @@
 """CI perf-regression gate for the host wall-clock trajectory.
 
 Compares a freshly measured ``BENCH_host_wallclock.json`` against the
-last *committed* baseline and fails when the threaded engine's
+last *committed* baseline and fails when an engine column's
 instructions/second drops below ``threshold`` (default 0.7) times the
-baseline on any workload both files measured.  The CI job snapshots the
-committed file before the bench overwrites it::
+baseline on any workload both files measured.  Both the ``threaded``
+(chaining off) and ``threaded_chained`` columns are gated; the chained
+comparison is skipped per-workload when the committed baseline
+predates chaining.  The CI job snapshots the committed file before the
+bench overwrites it::
 
     cp BENCH_host_wallclock.json /tmp/wallclock-baseline.json
     REPRO_BENCH_SCALE=0.2 ... pytest benchmarks/bench_host_wallclock.py ...
@@ -12,11 +15,15 @@ committed file before the bench overwrites it::
         --baseline /tmp/wallclock-baseline.json \
         --current BENCH_host_wallclock.json
 
+Every failure message names the workload, the engine column, and both
+absolute numbers, so a tripped gate in CI identifies the offending
+measurement without re-running anything.
+
 Absolute instr/sec varies across host machines, so 0.7x is a coarse
 tripwire for catastrophic regressions (an accidental de-optimisation of
-the translation cache, a recorder guard left unconditioned), not a
-precision benchmark; the bench's own speedup gate covers the
-engine-vs-engine ratio, which is host-independent.
+the translation cache, a recorder guard left unconditioned, chaining
+silently disabled), not a precision benchmark; the bench's own speedup
+gates cover the engine-vs-engine ratios, which are host-independent.
 """
 
 from __future__ import annotations
@@ -27,14 +34,20 @@ import sys
 
 DEFAULT_THRESHOLD = 0.7
 
-#: Minimum (scheduled single-process instr/sec) / (bare threaded
+#: Engine columns gated against the committed baseline, in report
+#: order.  ``threaded_chained`` is absent from pre-chaining baselines
+#: and is then skipped (with a note) rather than failed.
+GATED_COLUMNS = ("threaded", "threaded_chained")
+
+#: Minimum (scheduled single-process instr/sec) / (chained engine
 #: instr/sec), both from the CURRENT measurement: the scheduler must
 #: not slow the single-process path down.
 DEFAULT_SCHED_PARITY = 0.95
 
 
 def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
-    """Returns a list of human-readable regression descriptions."""
+    """Returns a list of human-readable regression descriptions, each
+    naming the workload and engine column that tripped the gate."""
     failures = []
     base_workloads = baseline.get("workloads", {})
     curr_workloads = current.get("workloads", {})
@@ -42,34 +55,46 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     if not shared:
         return ["no workloads in common between baseline and current run"]
     for name in shared:
-        base_ips = base_workloads[name]["threaded"]["instructions_per_second"]
-        curr_ips = curr_workloads[name]["threaded"]["instructions_per_second"]
-        ratio = curr_ips / base_ips if base_ips else float("inf")
-        status = "ok" if ratio >= threshold else "REGRESSION"
-        print(
-            f"{name:12s} baseline={base_ips:>12,} instr/s  "
-            f"current={curr_ips:>12,} instr/s  ratio={ratio:.2f}x  [{status}]"
-        )
-        if ratio < threshold:
-            failures.append(
-                f"{name}: threaded instr/sec fell to {ratio:.2f}x of the "
-                f"committed baseline (gate: {threshold}x)"
+        for column in GATED_COLUMNS:
+            base_col = base_workloads[name].get(column)
+            curr_col = curr_workloads[name].get(column)
+            if base_col is None or curr_col is None:
+                print(f"{name:12s} {column}: not in "
+                      f"{'baseline' if base_col is None else 'current'} "
+                      "[skipped]")
+                continue
+            base_ips = base_col["instructions_per_second"]
+            curr_ips = curr_col["instructions_per_second"]
+            ratio = curr_ips / base_ips if base_ips else float("inf")
+            status = "ok" if ratio >= threshold else "REGRESSION"
+            print(
+                f"{name:12s} {column:17s} baseline={base_ips:>12,} instr/s  "
+                f"current={curr_ips:>12,} instr/s  ratio={ratio:.2f}x  "
+                f"[{status}]"
             )
+            if ratio < threshold:
+                failures.append(
+                    f"workload '{name}', column '{column}': instr/sec fell "
+                    f"to {ratio:.2f}x of the committed baseline "
+                    f"({curr_ips:,} vs {base_ips:,}; gate: {threshold}x)"
+                )
     return failures
 
 
 def check_sched_parity(current: dict, threshold: float) -> list[str]:
     """Within the CURRENT measurement only (host-invariant ratio):
-    running single-process under the scheduler must cost ~nothing.
-    Skipped per-workload when the JSON predates the threaded_sched
-    measurement."""
+    running single-process under the scheduler must cost ~nothing
+    relative to the chained engine it runs on.  Skipped per-workload
+    when the JSON predates the threaded_sched measurement; falls back
+    to the plain threaded column for pre-chaining JSON files."""
     failures = []
     for name, entry in sorted(current.get("workloads", {}).items()):
         sched = entry.get("threaded_sched")
         if not sched:
             print(f"{name:12s} sched parity: not measured [skipped]")
             continue
-        bare_ips = entry["threaded"]["instructions_per_second"]
+        bare = entry.get("threaded_chained") or entry["threaded"]
+        bare_ips = bare["instructions_per_second"]
         sched_ips = sched["instructions_per_second"]
         ratio = sched_ips / bare_ips if bare_ips else float("inf")
         status = "ok" if ratio >= threshold else "REGRESSION"
@@ -79,9 +104,10 @@ def check_sched_parity(current: dict, threshold: float) -> list[str]:
         )
         if ratio < threshold:
             failures.append(
-                f"{name}: scheduler overhead pushed single-process "
-                f"throughput to {ratio:.2f}x of the bare engine "
-                f"(gate: {threshold}x)"
+                f"workload '{name}': scheduler overhead pushed "
+                f"single-process throughput to {ratio:.2f}x of the bare "
+                f"engine ({sched_ips:,} vs {bare_ips:,}; "
+                f"gate: {threshold}x)"
             )
     return failures
 

@@ -63,10 +63,10 @@ msg:
 
 
 def _prepare_kernel(
-    key: Key, fastpath: bool = True, engine: str = "threaded"
+    key: Key, fastpath: bool = True, engine: str = "threaded", chain: bool = True
 ) -> Kernel:
     kernel = Kernel(
-        key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath, engine=engine
+        key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath, engine=engine, chain=chain
     )
     kernel.vfs.write_file("/bin/sh", _marker_program(_SH_MARKER))
     kernel.vfs.write_file("/bin/ls", _marker_program(_LS_MARKER))
@@ -105,8 +105,9 @@ def _run_with_payload(
     mutate: Optional[Callable[[Kernel, VM], None]] = None,
     fastpath: bool = True,
     engine: str = "threaded",
+    chain: bool = True,
 ):
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine)
+    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
     process, vm = kernel.load(installed.binary, stdin=payload)
     if mutate:
         mutate(kernel, vm)
@@ -124,7 +125,7 @@ def _encode(instructions) -> bytes:
 
 
 def shellcode_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
 ) -> AttackResult:
     """Overflow the buffer, run injected code that issues a raw
     execve("/bin/sh") system call."""
@@ -147,7 +148,7 @@ def shellcode_attack(
     payload += struct.pack("<I", buffer_address)  # smashed return address
 
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath, engine=engine
+        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain
     )
     return AttackResult(
         name="shellcode",
@@ -168,6 +169,7 @@ def mimicry_attack(
     variant: str = "call-graph",
     fastpath: bool = True,
     engine: str = "threaded",
+    chain: bool = True,
 ) -> AttackResult:
     """Reuse the victim's *authenticated* execve call out of context.
 
@@ -210,7 +212,7 @@ def mimicry_attack(
 
     payload = code.ljust(BUFFER_SIZE, b"\x00") + struct.pack("<I", buffer_address)
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath, engine=engine
+        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain
     )
     return AttackResult(
         name=f"mimicry/{variant}",
@@ -227,7 +229,7 @@ def mimicry_attack(
 
 
 def non_control_data_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
 ) -> AttackResult:
     """Swap the constant "/bin/ls" for "/bin/sh" in memory.
 
@@ -264,6 +266,7 @@ def frankenstein_attack(
     defense: bool = True,
     fastpath: bool = True,
     engine: str = "threaded",
+    chain: bool = True,
 ) -> AttackResult:
     """Transplant program B's authenticated execve (of /bin/sh) into
     program A.  Both programs are legitimately installed on the same
@@ -324,7 +327,7 @@ def frankenstein_attack(
 
 
 def replay_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded"
+    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
 ) -> AttackResult:
     """Snapshot lastBlock/lbMAC *before* the open executes; let the
     open run (advancing the kernel counter); then restore the stale
@@ -334,7 +337,7 @@ def replay_attack(
     counter and fail-stops instead."""
     key = key or Key.generate()
     installed = _install_victim(key)
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine)
+    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
     process, vm = kernel.load(installed.binary, stdin=b"/etc/motd\x00")
 
     image = link(installed.binary)
@@ -376,6 +379,7 @@ def run_all_attacks(
     key: Optional[Key] = None,
     fastpath: bool = True,
     engine: str = "threaded",
+    chain: bool = True,
 ) -> list[AttackResult]:
     """The full §4.1 + §5.5 battery.
 
@@ -388,11 +392,11 @@ def run_all_attacks(
     invalidation protocol end to end)."""
     key = key or Key.generate()
     return [
-        shellcode_attack(key, fastpath=fastpath, engine=engine),
-        mimicry_attack(key, "call-graph", fastpath=fastpath, engine=engine),
-        mimicry_attack(key, "call-site", fastpath=fastpath, engine=engine),
-        non_control_data_attack(key, fastpath=fastpath, engine=engine),
-        frankenstein_attack(key, defense=True, fastpath=fastpath, engine=engine),
-        frankenstein_attack(key, defense=False, fastpath=fastpath, engine=engine),
-        replay_attack(key, fastpath=fastpath, engine=engine),
+        shellcode_attack(key, fastpath=fastpath, engine=engine, chain=chain),
+        mimicry_attack(key, "call-graph", fastpath=fastpath, engine=engine, chain=chain),
+        mimicry_attack(key, "call-site", fastpath=fastpath, engine=engine, chain=chain),
+        non_control_data_attack(key, fastpath=fastpath, engine=engine, chain=chain),
+        frankenstein_attack(key, defense=True, fastpath=fastpath, engine=engine, chain=chain),
+        frankenstein_attack(key, defense=False, fastpath=fastpath, engine=engine, chain=chain),
+        replay_attack(key, fastpath=fastpath, engine=engine, chain=chain),
     ]

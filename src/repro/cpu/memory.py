@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 PROT_READ = 0x1
 PROT_WRITE = 0x2
@@ -47,6 +47,14 @@ class Region:
     #: cache, and the threaded engine's basic-block translation cache
     #: all rely on this.
     version: int = 0
+    #: Pre-mutation observers: callables ``(address, size)`` invoked
+    #: *before* a canonical write or resize changes ``data``.  The
+    #: threaded engine's translation caches register themselves here so
+    #: chained/fused code is dropped while the old bytes are still
+    #: readable (pre-image invalidation).  A fork-shared region carries
+    #: the watchers of every process that compiled code from it, which
+    #: is what keeps cross-process invalidation coherent.
+    watchers: list = field(default_factory=list)
 
     @property
     def end(self) -> int:
@@ -128,6 +136,11 @@ class Memory:
     def grow_region(self, name: str, new_size: int) -> None:
         """Extend a region in place (used by ``brk``)."""
         region = self.find_region(name)
+        if region.watchers:
+            # Conservative: treat a resize as touching the whole old
+            # extent (brk is rare; shrink can truncate cached code).
+            for watcher in region.watchers:
+                watcher(region.start, len(region.data))
         region.version += 1
         if new_size < len(region.data):
             del region.data[new_size:]
@@ -161,6 +174,9 @@ class Memory:
             raise MemoryFault(region.end, "unmapped")
         if not force:
             self._check(region, PROT_WRITE, address)
+        if region.watchers:
+            for watcher in region.watchers:
+                watcher(address, len(data))
         offset = address - region.start
         region.data[offset : offset + len(data)] = data
         region.version += 1

@@ -9,37 +9,83 @@ block pay one dictionary probe, one guard comparison, and one batched
 cycle/instruction update instead of per-instruction fetch, decode, and
 dispatch.
 
+On top of the translation cache sit two dispatch-elimination layers
+(both default-on; ``BlockCache(vm, chain=False)`` restores the plain
+per-block dispatch loop, surfaced as ``--no-chain`` in the CLI):
+
+- **Direct block chaining.**  A block whose terminator has a static
+  successor (fall-through, direct branch, ``CALL``, or the return path
+  of a trap) records the successor PC(s) at compile time; the first
+  execution that takes such an exit links the successor block into the
+  predecessor (two-way for conditional branches), and later
+  executions invoke the successor directly, skipping the dispatch
+  loop's dict probe and guard re-check.  Chained entry is only taken
+  when the remaining instruction budget covers the successor, so
+  scheduler preemption points are bit-identical with the unchained
+  engine and the interpreter.
+- **Superblocks.**  When a chain closes a hot cycle (per-block
+  execution counter), the member blocks are fused into a single
+  unrolled thunk list with one merged version-guard vector and one
+  batched cycle/budget decrement per pass.  Fused code is specialized:
+  adjacent compare+conditional-branch pairs become one thunk,
+  intra-cycle ``JMP``s are elided, and loads/stores run the one-entry
+  data-TLB fast path inline.  Off-cycle branch exits roll the batched
+  accounting back to the exact architectural state and return to the
+  dispatch loop, so every observable value (``RDTSC``, fault PCs,
+  preemption points) matches the interpreter.
+
+The invalidation invariant that makes chaining sound: **a chained or
+fused entry never re-validates its target's guards, so any write that
+could stale a translation must eagerly drop it** (dropping severs the
+inbound links via the block's ``preds`` list and kills any superblock
+it belongs to).  Three mechanisms cooperate:
+
+- Engine fast-path stores call :meth:`BlockCache.note_write` *before*
+  the bytes land (pre-image invalidation), then perform the store,
+  then abort the running block/superblock if its own span was hit.
+- Canonical stores (``Memory.write`` — guest slow path, kernel
+  syscalls writing guest buffers, ``brk`` growth) notify pre-mutation
+  watchers that each cache registers on every region it compiles code
+  from; fork-shared regions carry both processes' watchers, so a
+  forced write invalidates parent and child coherently.
+- ``lookup`` still re-validates write-version guards, which covers
+  uncached entry paths exactly as before.
+
 Bit-identity with the reference interpreter is the contract, not a
 goal: registers, flags, memory, cycle counts (including the values
 ``RDTSC`` observes mid-block and the kernel observes at trap time),
 instruction counts, fault PCs and messages, and fail-stop reasons must
 all be indistinguishable.  The pieces that make that work:
 
-- **Batched accounting with per-thunk corrections.**  A block's total
-  cycles and instruction count are added on entry.  Thunks that can
-  observe or abort mid-block (``RDTSC``, faults, self-modifying
-  stores) carry pre-computed corrections (``total - prefix[i]``) so
-  the architectural counters are exact at every observation point.
+- **Batched accounting with per-thunk corrections.**  A block's (or
+  superblock's) total cycles and instruction count are added on entry.
+  Thunks that can observe or abort mid-block (``RDTSC``, faults,
+  self-modifying stores, off-cycle branch exits) carry pre-computed
+  corrections (``total - prefix[i]``) so the architectural counters
+  are exact at every observation point.
 - **Traps end blocks.**  ``SYS``/``ASYS`` only ever appear as a block
   terminator, so ``vm.cycles`` is exact when the kernel's
   :class:`~repro.cpu.vm.TrapHandler` runs, ``vm.pc`` names the call
   site (the authenticated-call checker and audit log depend on it),
   and :class:`~repro.cpu.vm.ProcessExit` propagates with the same
-  state the interpreter would leave.
+  state the interpreter would leave.  Traps are never fused into
+  superblocks.
 - **Write-version guards.**  Each block records the
   :class:`~repro.cpu.memory.Region` objects its code spans and their
   ``version`` counters at compile time; a block whose guard fails is
   recompiled on next entry.  Stores additionally consult a
   page->blocks index for eager invalidation, and a store that clobbers
-  the *remainder of the currently running block* rolls the batched
-  accounting back and aborts to the dispatch loop, so self-modifying
-  code (including the §4.1 stack shellcode) re-decodes exactly like
-  the interpreter.
+  the *remainder of the currently running block* (or anywhere in a
+  running superblock's span — conservative, but exact after rollback)
+  rolls the batched accounting back and aborts to the dispatch loop,
+  so self-modifying code (including the §4.1 stack shellcode)
+  re-decodes exactly like the interpreter.
 - **Compile faults are deferred.**  If instruction ``k > 0`` of a
   block cannot be fetched or decoded, the block is truncated before it
   with a fall-through terminator; the fault is then raised on the next
   dispatch at exactly the PC, accounting, and message the interpreter
-  produces.
+  produces.  Chain-following re-enters ``lookup`` for unlinked exits,
+  so deferred faults fire identically under chaining.
 
 Loads and stores go through a one-entry data-region cache (a tiny data
 TLB): a hit performs the access directly against the region bytearray
@@ -71,24 +117,47 @@ _WRAP = 0x1_0000_0000
 #: only bounds pathological NOP sleds; real blocks end at a branch.
 MAX_BLOCK = 64
 
+#: A block becomes a superblock-fusion candidate every time its
+#: execution count crosses a multiple of ``_HOT_MASK + 1``.
+_HOT_MASK = 0xFF
+#: Superblock shape limits: at most this many member blocks / cycle
+#: instructions, unrolled toward ``_SB_TARGET_INSNS`` per pass.
+_SB_MAX_BLOCKS = 8
+_SB_MAX_INSNS = 64
+_SB_TARGET_INSNS = 128
+_SB_MAX_UNROLL = 16
+#: A superblock that keeps aborting on stores into its own span (a
+#: loop that writes its own code region every pass) is torn down after
+#: this many SMC aborts; each abort is exact, just slow.
+_SB_SMC_LIMIT = 4
+
 
 class BlockAbort(Exception):
-    """Internal control flow: a store clobbered the remainder of the
-    running block.  ``consumed`` is how many instructions completed."""
+    """Internal control flow: the running block/superblock must stop
+    early with the architectural state already settled by the raiser.
+    ``consumed`` is how many instructions completed; ``smc`` marks
+    aborts caused by a store into the running translation's own span
+    (used to tear down pathologically self-modifying superblocks)."""
 
-    def __init__(self, consumed: int):
+    def __init__(self, consumed: int, smc: bool = False):
         self.consumed = consumed
+        self.smc = smc
 
 
 class Block:
-    """One compiled basic block."""
+    """One compiled basic block plus its chain-link state."""
 
     __slots__ = (
         "entry", "end", "count", "total_cycles", "thunks",
         "guard_region", "guard_version", "extra_guards", "stop", "pages",
+        "code", "s1_pc", "s2_pc", "s1", "s2", "preds",
+        "exec_count", "fusable", "sb", "sbs",
     )
 
-    def __init__(self, entry, end, count, total_cycles, thunks, guards, stop):
+    def __init__(
+        self, entry, end, count, total_cycles, thunks, guards, stop,
+        code, s1_pc, s2_pc, fusable,
+    ):
         self.entry = entry
         self.end = end
         self.count = count
@@ -101,6 +170,49 @@ class Block:
         self.pages = tuple(
             range(entry >> PAGE_SHIFT, ((end - 1) >> PAGE_SHIFT) + 1)
         )
+        #: Decoded instruction stream ``(pc, op, reg fields, imm)`` —
+        #: kept so superblock fusion can re-specialize without
+        #: re-fetching (the guards vouch for it staying current).
+        self.code = code
+        #: Static successor PCs (-1 when the exit is dynamic).  For a
+        #: conditional branch s1 is the taken target and s2 the
+        #: fall-through; JMP/CALL use s1 for the target; SYS/ASYS use
+        #: s1 for the return path.
+        self.s1_pc = s1_pc
+        self.s2_pc = s2_pc
+        #: Lazily linked successor blocks (direct chaining).
+        self.s1: Optional[Block] = None
+        self.s2: Optional[Block] = None
+        #: Blocks whose s1/s2 point at this block — severed on drop.
+        self.preds: list = []
+        self.exec_count = 0
+        #: Eligible for superblock membership (conditional/JMP
+        #: terminator, fully decoded).
+        self.fusable = fusable
+        #: Superblock headed by this block, if any.
+        self.sb: Optional["Superblock"] = None
+        #: Every superblock this block is a member of (for teardown).
+        self.sbs: list = []
+
+
+class Superblock:
+    """A fused, unrolled hot cycle: one guard vector, one batched
+    accounting update and budget decrement per pass."""
+
+    __slots__ = (
+        "entry", "count", "total_cycles", "thunks", "guards", "blocks",
+        "dead", "smc_aborts",
+    )
+
+    def __init__(self, entry, count, total_cycles, thunks, guards, blocks):
+        self.entry = entry
+        self.count = count
+        self.total_cycles = total_cycles
+        self.thunks = thunks
+        self.guards = guards
+        self.blocks = blocks
+        self.dead = False
+        self.smc_aborts = 0
 
 
 def _signed(value: int) -> int:
@@ -110,8 +222,9 @@ def _signed(value: int) -> int:
 class BlockCache:
     """The per-VM translation cache and its dispatch loop."""
 
-    def __init__(self, vm: "VM"):
+    def __init__(self, vm: "VM", chain: bool = True):
         self.vm = vm
+        self.chain = chain
         self._blocks: dict[int, Block] = {}
         #: page number -> set of block entry PCs whose code touches it.
         #: Lets stores invalidate cached translations in O(1) in the
@@ -120,8 +233,15 @@ class BlockCache:
         #: One-entry data TLB (see module docstring).  Starts with an
         #: empty dummy region so the first access always misses.
         self._dregion: Region = Region(start=0, data=bytearray(), prot=0)
+        #: Regions (by id) this cache has registered a pre-mutation
+        #: watcher on, so canonical writes invalidate eagerly too.
+        self._watched: set[int] = set()
         self.compiles = 0
         self.invalidations = 0
+        self.chains_linked = 0
+        self.chains_severed = 0
+        self.superblocks_fused = 0
+        self.superblocks_killed = 0
 
     # -- dispatch ------------------------------------------------------
 
@@ -134,33 +254,130 @@ class BlockCache:
         not a fault: the engine returns with the architectural state
         exactly as the interpreter leaves it after the same number of
         instructions, which is what makes scheduler interleavings
-        engine-independent."""
+        engine-independent.  Chained successors and superblocks are
+        only entered when the remaining budget covers them, so the
+        preemption point always lands on a block boundary the
+        interpreter would also stop at."""
         vm = self.vm
         lookup = self.lookup
         step = vm.step
         budget = max_instructions
+
+        if not self.chain:
+            # Plain per-block dispatch: one dict probe + guard check
+            # per block execution (the pre-chaining engine, kept as
+            # the `--no-chain` escape hatch and bench baseline).
+            while budget > 0:
+                block = lookup(vm.pc)
+                count = block.count
+                if count > budget:
+                    if not step():
+                        return
+                    budget -= 1
+                    continue
+                vm.cycles += block.total_cycles
+                vm.instructions_executed += count
+                try:
+                    for thunk in block.thunks:
+                        thunk(vm)
+                except BlockAbort as abort:
+                    budget -= abort.consumed
+                    continue
+                if block.stop:
+                    return
+                budget -= count
+            if preempt:
+                return
+            raise ExecutionFault(vm.pc, "instruction budget exhausted")
+
         while budget > 0:
             block = lookup(vm.pc)
-            count = block.count
-            if count > budget:
-                if not step():
+            # Chain-following inner loop: after executing `block`,
+            # hop straight to a linked successor without re-entering
+            # the dispatch loop (no dict probe, no guard re-check —
+            # eager invalidation severs links before they can stale).
+            while True:
+                count = block.count
+                if count > budget:
+                    # Slice shorter than the block: single-step the
+                    # tail so budget exhaustion lands at exactly the
+                    # interpreter's PC.
+                    if not step():
+                        return
+                    budget -= 1
+                    break
+                sb = block.sb
+                if sb is not None and sb.count <= budget:
+                    entered, budget = self._run_superblock(sb, budget)
+                    if entered:
+                        break
+                vm.cycles += block.total_cycles
+                vm.instructions_executed += count
+                try:
+                    for thunk in block.thunks:
+                        thunk(vm)
+                except BlockAbort as abort:
+                    budget -= abort.consumed
+                    break
+                if block.stop:
                     return
-                budget -= 1
-                continue
-            vm.cycles += block.total_cycles
-            vm.instructions_executed += count
-            try:
-                for thunk in block.thunks:
-                    thunk(vm)
-            except BlockAbort as abort:
-                budget -= abort.consumed
-                continue
-            if block.stop:
-                return
-            budget -= count
+                budget -= count
+                n = block.exec_count + 1
+                block.exec_count = n
+                if block.fusable and block.sb is None and not (n & _HOT_MASK):
+                    self._maybe_fuse(block)
+                if budget <= 0:
+                    break
+                pc = vm.pc
+                if pc == block.s1_pc:
+                    succ = block.s1
+                    if succ is None:
+                        succ = self._link(block, pc, 1)
+                elif pc == block.s2_pc:
+                    succ = block.s2
+                    if succ is None:
+                        succ = self._link(block, pc, 2)
+                else:
+                    break  # dynamic exit (JR/RET/...): full dispatch
+                block = succ
         if preempt:
             return
         raise ExecutionFault(vm.pc, "instruction budget exhausted")
+
+    def _run_superblock(self, sb: Superblock, budget: int):
+        """Execute passes of a fused cycle while the budget covers a
+        full pass.  Returns ``(entered, budget)``; ``entered`` is
+        False when the guard vector was stale (the superblock is then
+        killed and the caller falls back to per-block execution)."""
+        for region, version in sb.guards:
+            if region.version != version:
+                self._kill_superblock(sb)
+                return False, budget
+        vm = self.vm
+        entry = sb.entry
+        count = sb.count
+        cycles = sb.total_cycles
+        thunks = sb.thunks
+        while count <= budget:
+            vm.cycles += cycles
+            vm.instructions_executed += count
+            try:
+                for thunk in thunks:
+                    thunk(vm)
+            except BlockAbort as abort:
+                # The raiser already rolled the batched accounting
+                # back and set vm.pc; only the budget needs settling.
+                budget -= abort.consumed
+                if abort.smc and not sb.dead:
+                    sb.smc_aborts += 1
+                    if sb.smc_aborts >= _SB_SMC_LIMIT:
+                        sb.blocks[0].fusable = False
+                        self._kill_superblock(sb)
+                break
+            budget -= count
+            if vm.pc != entry:
+                break
+        return True, budget
 
     # -- cache management ----------------------------------------------
 
@@ -180,6 +397,19 @@ class BlockCache:
             self.invalidations += 1
         return self._compile(pc)
 
+    def _link(self, block: Block, pc: int, slot: int) -> Block:
+        """Form a chain link from ``block`` to the block at ``pc``
+        (which may compile it, or raise its deferred fault exactly as
+        the dispatch loop would)."""
+        succ = self.lookup(pc)
+        if slot == 1:
+            block.s1 = succ
+        else:
+            block.s2 = succ
+        succ.preds.append(block)
+        self.chains_linked += 1
+        return succ
+
     def _drop(self, block: Block) -> None:
         self._blocks.pop(block.entry, None)
         for page in block.pages:
@@ -188,17 +418,63 @@ class BlockCache:
                 entries.discard(block.entry)
                 if not entries:
                     del self._page_index[page]
+        # Sever inbound chain links: a chained predecessor must never
+        # invoke a dropped (possibly stale) translation.
+        preds = block.preds
+        if preds:
+            for pred in preds:
+                if pred.s1 is block:
+                    pred.s1 = None
+                    self.chains_severed += 1
+                if pred.s2 is block:
+                    pred.s2 = None
+                    self.chains_severed += 1
+            block.preds = []
+        # ...and outbound ones, so the successors' pred lists do not
+        # accumulate dead entries across SMC recompile churn.
+        s1 = block.s1
+        if s1 is not None:
+            s1.preds = [p for p in s1.preds if p is not block]
+            block.s1 = None
+        s2 = block.s2
+        if s2 is not None:
+            s2.preds = [p for p in s2.preds if p is not block]
+            block.s2 = None
+        # Any superblock containing this block is now stale.
+        if block.sbs:
+            for sb in block.sbs[:]:
+                self._kill_superblock(sb)
+
+    def _kill_superblock(self, sb: Superblock) -> None:
+        if sb.dead:
+            return
+        sb.dead = True
+        self.superblocks_killed += 1
+        head = sb.blocks[0]
+        if head.sb is sb:
+            head.sb = None
+        for member in sb.blocks:
+            try:
+                member.sbs.remove(sb)
+            except ValueError:
+                pass
 
     def note_write(self, address: int, size: int) -> None:
-        """Eagerly drop cached blocks whose code a write overlaps.
-        Correctness does not depend on this (the version guards catch
-        staleness at next entry); it keeps the cache from accumulating
-        dead translations."""
+        """Drop cached blocks whose code a write overlaps — called
+        *before* the store lands (pre-image invalidation), both from
+        the engine's fast-path stores and, via ``Region.watchers``,
+        from every canonical ``Memory`` mutation.  With chaining this
+        is load-bearing, not just hygiene: a chained predecessor
+        invokes its successor without re-checking guards, so the
+        successor must be dropped (severing the link) the moment its
+        code is overwritten."""
         index = self._page_index
+        if not index:
+            return
         lo = address >> PAGE_SHIFT
         hi = (address + size - 1) >> PAGE_SHIFT
         end = address + size
-        for page in ((lo,) if hi == lo else (lo, hi)):
+        for page in range(lo, hi + 1):
             entries = index.get(page)
             if not entries:
                 continue
@@ -289,16 +565,41 @@ class BlockCache:
         stop = False
         for i, (ipc, op, regs, imm) in enumerate(fetched):
             thunk = self._make_thunk(
-                i, ipc, op, regs, imm,
+                ipc, op, regs, imm,
                 cyc_corr=total - prefix[i],
                 icnt_corr=count - (i + 1),
-                block_end=end,
+                consumed=i + 1,
+                # Per-block SMC window: the not-yet-executed remainder
+                # [next pc, block end).  Empty for the terminator.
+                smc_lo=ipc + INSTRUCTION_SIZE,
+                smc_hi=end,
             )
             if thunk is not None:
                 thunks.append(thunk)
             if op is Op.HALT:
                 stop = True
-        if not terminated:
+
+        # Static successor PCs for direct chaining, and superblock
+        # eligibility.  Dynamic exits (JR/CALLR/RET) and stops get the
+        # -1 sentinel and always return to the dispatch loop.
+        s1_pc = -1
+        s2_pc = -1
+        fusable = False
+        if terminated:
+            tpc, top, _, timm = fetched[-1]
+            tnxt = tpc + INSTRUCTION_SIZE
+            if top in _CONDITION_FLAGS:
+                s1_pc = timm & _MASK
+                s2_pc = tnxt
+                fusable = True
+            elif top is Op.JMP:
+                s1_pc = timm & _MASK
+                fusable = True
+            elif top is Op.CALL:
+                s1_pc = timm & _MASK
+            elif top is Op.SYS or top is Op.ASYS:
+                s1_pc = tnxt
+        else:
             # Truncated block: fall through to the next PC; the next
             # dispatch re-enters the cache (or raises the deferred
             # fetch fault).
@@ -308,54 +609,375 @@ class BlockCache:
                 vm.pc = _nxt
 
             thunks.append(fallthrough)
+            s1_pc = end
 
-        block = Block(entry, end, count, total, thunks, guards, stop)
+        block = Block(
+            entry, end, count, total, thunks, guards, stop,
+            tuple(fetched), s1_pc, s2_pc, fusable,
+        )
         self._blocks[entry] = block
         for page in block.pages:
             self._page_index.setdefault(page, set()).add(entry)
+        # Register pre-mutation watchers so canonical writes (kernel
+        # buffer fills, brk growth, forced attack writes) invalidate
+        # before the bytes land — see the module docstring.
+        for region, _ in guards:
+            rid = id(region)
+            if rid not in self._watched:
+                self._watched.add(rid)
+                region.watchers.append(self.note_write)
         self.compiles += 1
         return block
 
+    # -- superblock fusion ---------------------------------------------
+
+    def _maybe_fuse(self, head: Block) -> None:
+        """If the chain out of ``head`` closes a cycle back to it,
+        fuse the member blocks into a superblock.  Called every
+        ``_HOT_MASK + 1`` executions of a fusable, unfused block."""
+        path = [head]
+        seen = {id(head)}
+        insns = head.count
+        block = head
+        while True:
+            s1 = block.s1
+            s2 = block.s2
+            if s1 is not None and s2 is not None:
+                nxt = s1 if s1.exec_count >= s2.exec_count else s2
+            elif s1 is not None:
+                nxt = s1
+            else:
+                nxt = s2
+            if nxt is head:
+                break  # cycle found
+            if (
+                nxt is None
+                or not nxt.fusable
+                or id(nxt) in seen
+                or len(path) >= _SB_MAX_BLOCKS
+                or insns + nxt.count > _SB_MAX_INSNS
+            ):
+                return
+            seen.add(id(nxt))
+            path.append(nxt)
+            insns += nxt.count
+            block = nxt
+        recorder = self.vm.recorder
+        if not recorder.enabled:
+            self._fuse(path, insns)
+            return
+        recorder.begin("block-chain", "engine")
+        try:
+            self._fuse(path, insns)
+        finally:
+            recorder.end()
+
+    def _fuse(self, path: list, cycle_insns: int) -> None:
+        head = path[0]
+        unroll = max(1, min(_SB_MAX_UNROLL, _SB_TARGET_INSNS // cycle_insns))
+        span_lo = min(b.entry for b in path)
+        span_hi = max(b.end for b in path)
+
+        # Merged guard vector (deduped by region): one validation per
+        # superblock entry instead of one per member per pass.
+        guards: list[tuple[Region, int]] = []
+        seen_regions: set[int] = set()
+        for member in path:
+            member_guards = [(member.guard_region, member.guard_version)]
+            if member.extra_guards:
+                member_guards.extend(member.extra_guards)
+            for region, version in member_guards:
+                if id(region) not in seen_regions:
+                    seen_regions.add(id(region))
+                    guards.append((region, version))
+
+        # Flatten `unroll` copies of the cycle.  Unrolled copies share
+        # the same guest PCs, so every pre-bound PC/fault value stays
+        # architecturally correct in any copy.
+        flat = []  # (pc, op, reg fields, imm, is_terminator, on_taken, block)
+        npath = len(path)
+        for _ in range(unroll):
+            for bi, member in enumerate(path):
+                chosen = path[bi + 1] if bi + 1 < npath else head
+                code = member.code
+                last = len(code) - 1
+                for k, (ipc, op, regs_f, imm) in enumerate(code):
+                    on_taken = k == last and chosen.entry == member.s1_pc
+                    flat.append((ipc, op, regs_f, imm, k == last, on_taken, member))
+
+        n = len(flat)
+        prefix = []
+        total = 0
+        for _, op, _, imm, _, _, _ in flat:
+            total += OPCODE_INFO[op].cycles
+            if op is Op.CPUWORK:
+                total += imm
+            prefix.append(total)
+
+        thunks: list[Callable] = []
+        j = 0
+        while j < n:
+            ipc, op, regs_f, imm, is_term, on_taken, member = flat[j]
+            final = j == n - 1
+            if is_term:
+                if final:
+                    # The pass-closing terminator runs unspecialized
+                    # with zero corrections: it sets vm.pc on both
+                    # paths and the pass loop checks it against the
+                    # superblock entry.
+                    thunks.append(self._make_thunk(
+                        ipc, op, regs_f, imm,
+                        cyc_corr=0, icnt_corr=0, consumed=n,
+                        smc_lo=span_lo, smc_hi=span_hi,
+                    ))
+                elif op is Op.JMP or member.s1_pc == member.s2_pc:
+                    pass  # intra-cycle jump: control simply continues
+                else:
+                    off_pc = member.s2_pc if on_taken else member.s1_pc
+                    thunks.append(self._branch_exit(
+                        op, on_taken, off_pc,
+                        cyc_corr=total - prefix[j],
+                        icnt_corr=n - (j + 1),
+                        consumed=j + 1,
+                    ))
+                j += 1
+                continue
+            if (op is Op.CMP or op is Op.CMPI) and j + 1 < n - 1:
+                (nipc, nop, nregs, nimm, nterm, non_taken, nmember) = flat[j + 1]
+                if nterm and nop in _CONDITION_FLAGS and nmember.s1_pc != nmember.s2_pc:
+                    # Fused compare+branch: one thunk sets the
+                    # architectural flags and takes the exit decision.
+                    thunks.append(self._fused_compare_branch(
+                        op, regs_f, imm, nop, non_taken,
+                        nmember.s2_pc if non_taken else nmember.s1_pc,
+                        cyc_corr=total - prefix[j + 1],
+                        icnt_corr=n - (j + 2),
+                        consumed=j + 2,
+                    ))
+                    j += 2
+                    continue
+            thunk = self._make_thunk(
+                ipc, op, regs_f, imm,
+                cyc_corr=total - prefix[j],
+                icnt_corr=n - (j + 1),
+                consumed=j + 1,
+                smc_lo=span_lo, smc_hi=span_hi,
+            )
+            if thunk is not None:
+                thunks.append(thunk)
+            j += 1
+
+        sb = Superblock(head.entry, n, total, thunks, tuple(guards), tuple(path))
+        head.sb = sb
+        for member in path:
+            member.sbs.append(sb)
+        self.superblocks_fused += 1
+
     # -- thunk factories -----------------------------------------------
 
+    def _branch_exit(
+        self, op, on_taken, off_pc, cyc_corr, icnt_corr, consumed
+    ) -> Callable:
+        """A mid-superblock conditional branch whose flags were set by
+        an earlier (non-adjacent) compare: continue on the fused path,
+        or roll back the batched accounting and exit."""
+        family, invert = _BRANCH_FAMILY[op]
+        want = on_taken ^ invert
+
+        if family == "z":
+
+            def thunk(vm):
+                if vm.flag_zero != want:
+                    vm.cycles -= cyc_corr
+                    vm.instructions_executed -= icnt_corr
+                    vm.pc = off_pc
+                    raise BlockAbort(consumed)
+
+        elif family == "n":
+
+            def thunk(vm):
+                if vm.flag_neg != want:
+                    vm.cycles -= cyc_corr
+                    vm.instructions_executed -= icnt_corr
+                    vm.pc = off_pc
+                    raise BlockAbort(consumed)
+
+        else:  # "nz"
+
+            def thunk(vm):
+                if (vm.flag_neg or vm.flag_zero) != want:
+                    vm.cycles -= cyc_corr
+                    vm.instructions_executed -= icnt_corr
+                    vm.pc = off_pc
+                    raise BlockAbort(consumed)
+
+        return thunk
+
+    def _fused_compare_branch(
+        self, cmp_op, cmp_regs, cmp_imm, br_op, on_taken, off_pc,
+        cyc_corr, icnt_corr, consumed,
+    ) -> Callable:
+        """One thunk for an adjacent CMP/CMPI + conditional branch
+        pair inside a superblock.  The architectural flags are always
+        set (a later exit must observe them exactly as the interpreter
+        would); corrections are the *branch's*, since both
+        instructions have executed when the exit is taken."""
+        regs = self.vm.regs
+        family, invert = _BRANCH_FAMILY[br_op]
+        want = on_taken ^ invert
+
+        if cmp_op is Op.CMPI:
+            a = cmp_regs[0]
+            value = cmp_imm & _MASK
+            signed_value = _signed(value)
+
+            if family == "z":
+
+                def thunk(vm):
+                    x = regs[a]
+                    z = x == value
+                    vm.flag_zero = z
+                    vm.flag_neg = (x - _WRAP if x & _SIGN else x) < signed_value
+                    if z != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+            elif family == "n":
+
+                def thunk(vm):
+                    x = regs[a]
+                    neg = (x - _WRAP if x & _SIGN else x) < signed_value
+                    vm.flag_zero = x == value
+                    vm.flag_neg = neg
+                    if neg != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+            else:  # "nz"
+
+                def thunk(vm):
+                    x = regs[a]
+                    z = x == value
+                    neg = (x - _WRAP if x & _SIGN else x) < signed_value
+                    vm.flag_zero = z
+                    vm.flag_neg = neg
+                    if (neg or z) != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+        else:  # CMP ra, rb
+            a, b = cmp_regs
+
+            if family == "z":
+
+                def thunk(vm):
+                    x = regs[a]
+                    y = regs[b]
+                    z = x == y
+                    vm.flag_zero = z
+                    vm.flag_neg = (x - _WRAP if x & _SIGN else x) < (
+                        y - _WRAP if y & _SIGN else y
+                    )
+                    if z != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+            elif family == "n":
+
+                def thunk(vm):
+                    x = regs[a]
+                    y = regs[b]
+                    neg = (x - _WRAP if x & _SIGN else x) < (
+                        y - _WRAP if y & _SIGN else y
+                    )
+                    vm.flag_zero = x == y
+                    vm.flag_neg = neg
+                    if neg != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+            else:  # "nz"
+
+                def thunk(vm):
+                    x = regs[a]
+                    y = regs[b]
+                    z = x == y
+                    neg = (x - _WRAP if x & _SIGN else x) < (
+                        y - _WRAP if y & _SIGN else y
+                    )
+                    vm.flag_zero = z
+                    vm.flag_neg = neg
+                    if (neg or z) != want:
+                        vm.cycles -= cyc_corr
+                        vm.instructions_executed -= icnt_corr
+                        vm.pc = off_pc
+                        raise BlockAbort(consumed)
+
+        return thunk
+
     def _make_thunk(
-        self, i, pc, op, regs_f, imm, cyc_corr, icnt_corr, block_end
+        self, pc, op, regs_f, imm, cyc_corr, icnt_corr, consumed,
+        smc_lo, smc_hi,
     ) -> Optional[Callable]:
         """Compile one instruction into a pre-bound closure.
 
-        Returns ``None`` for instructions whose entire effect lives in
-        the batched accounting (``NOP``, ``CPUWORK``)."""
+        ``[smc_lo, smc_hi)`` is the self-modification window: a store
+        landing in it aborts the running translation after the write.
+        For a plain block that is the unexecuted remainder; for a
+        superblock it is the whole member span (conservative: every PC
+        in a cycle is "not yet executed" from the next pass's point of
+        view).  Returns ``None`` for instructions whose entire effect
+        lives in the batched accounting (``NOP``, ``CPUWORK``)."""
         vm = self.vm
         regs = vm.regs  # the register file list is never reassigned
         memory = vm.memory
         cache = self
         nxt = pc + INSTRUCTION_SIZE
-        consumed = i + 1
 
         def fault(vm, message, cause=None):
-            """Roll the batched accounting back to 'instruction i
+            """Roll the batched accounting back to 'this instruction
             faulted' and raise, mirroring interpreter state exactly."""
             vm.cycles -= cyc_corr
             vm.instructions_executed -= icnt_corr
             vm.pc = pc
             raise ExecutionFault(pc, message) from cause
 
-        def store_hooks(vm, address, size):
-            """Post-write invalidation: eager page-index drop plus the
-            self-modification abort for the running block."""
-            if (address >> PAGE_SHIFT) in cache._page_index or (
+        def pre_store(address, size):
+            """Pre-image invalidation: drop overlapped translations
+            (severing their chain links) before the bytes change."""
+            index = cache._page_index
+            if (address >> PAGE_SHIFT) in index or (
                 (address + size - 1) >> PAGE_SHIFT
-            ) in cache._page_index:
+            ) in index:
                 cache.note_write(address, size)
-            if address < block_end and address + size > nxt:
-                # The write clobbered instructions this block has not
-                # executed yet: unwind the batched accounting past
-                # instruction i and return to the dispatch loop, which
-                # re-decodes the modified code.
-                vm.cycles -= cyc_corr
-                vm.instructions_executed -= icnt_corr
-                vm.pc = nxt
-                raise BlockAbort(consumed)
+
+        if smc_lo < smc_hi:
+
+            def post_store(vm, address, size):
+                """Self-modification abort: the store clobbered code
+                this translation would still execute.  Unwind the
+                batched accounting past this instruction and return to
+                the dispatch loop, which re-decodes the new bytes."""
+                if address < smc_hi and address + size > smc_lo:
+                    vm.cycles -= cyc_corr
+                    vm.instructions_executed -= icnt_corr
+                    vm.pc = nxt
+                    raise BlockAbort(consumed, smc=True)
+
+        else:  # empty window (a terminator's own store can't SMC-abort)
+
+            def post_store(vm, address, size):
+                return
 
         def read_u32(vm, address, message_prefix=""):
             region = cache._dregion
@@ -373,15 +995,19 @@ class BlockCache:
             region = cache._dregion
             offset = address - region.start
             if 0 <= offset and offset + 4 <= len(region.data) and region.prot & 2:
+                pre_store(address, 4)
                 pack_into("<I", region.data, offset, value & _MASK)
                 region.version += 1
             else:
+                # The canonical path notifies this cache's region
+                # watcher before mutating, so invalidation ordering is
+                # identical to the fast path.
                 try:
                     memory.write_u32(address, value)
                 except MemoryFault as err:
                     fault(vm, message_prefix + str(err), err)
                 cache._dregion = memory.region_at(address)
-            store_hooks(vm, address, 4)
+            post_store(vm, address, 4)
 
         # -- straight-line operations ---------------------------------
 
@@ -535,14 +1161,30 @@ class BlockCache:
             disp = imm
 
             def thunk(vm):
-                regs[d] = read_u32(vm, (regs[base] + disp) & _MASK)
+                # Data-TLB fast path inlined (no nested call on hit).
+                address = (regs[base] + disp) & _MASK
+                region = cache._dregion
+                offset = address - region.start
+                if 0 <= offset and offset + 4 <= len(region.data) and region.prot & 1:
+                    regs[d] = unpack_from("<I", region.data, offset)[0]
+                else:
+                    regs[d] = read_u32(vm, address)
 
         elif op is Op.ST:
             s, base = regs_f
             disp = imm
 
             def thunk(vm):
-                write_u32(vm, (regs[base] + disp) & _MASK, regs[s])
+                address = (regs[base] + disp) & _MASK
+                region = cache._dregion
+                offset = address - region.start
+                if 0 <= offset and offset + 4 <= len(region.data) and region.prot & 2:
+                    pre_store(address, 4)
+                    pack_into("<I", region.data, offset, regs[s] & _MASK)
+                    region.version += 1
+                    post_store(vm, address, 4)
+                else:
+                    write_u32(vm, address, regs[s])
 
         elif op is Op.LDB:
             d, base = regs_f
@@ -571,6 +1213,7 @@ class BlockCache:
                 region = cache._dregion
                 offset = address - region.start
                 if 0 <= offset < len(region.data) and region.prot & 2:
+                    pre_store(address, 1)
                     region.data[offset] = regs[s] & 0xFF
                     region.version += 1
                 else:
@@ -579,7 +1222,7 @@ class BlockCache:
                     except MemoryFault as err:
                         fault(vm, str(err), err)
                     cache._dregion = memory.region_at(address)
-                store_hooks(vm, address, 1)
+                post_store(vm, address, 1)
 
         elif op is Op.PUSH:
             s = regs_f[0]
@@ -634,7 +1277,6 @@ class BlockCache:
 
         elif op in _CONDITION_FLAGS:
             target = imm & _MASK
-            want_zero, want_neg, want_either, invert = _CONDITION_FLAGS[op]
 
             if op is Op.BEQ:
 
@@ -741,4 +1383,17 @@ _CONDITION_FLAGS = {
     Op.BGE: (False, True, False, True),
     Op.BLE: (False, False, True, False),
     Op.BGT: (False, False, True, True),
+}
+
+#: Conditional-branch decomposition for superblock specialization:
+#: which flag family the predicate reads ("z" = zero, "n" = negative,
+#: "nz" = negative-or-zero) and whether the branch takes on the
+#: *false* value of that family.
+_BRANCH_FAMILY = {
+    Op.BEQ: ("z", False),
+    Op.BNE: ("z", True),
+    Op.BLT: ("n", False),
+    Op.BGE: ("n", True),
+    Op.BLE: ("nz", False),
+    Op.BGT: ("nz", True),
 }

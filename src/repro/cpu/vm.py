@@ -94,12 +94,17 @@ class VM:
         stack_size: int = 0x40000,
         nx: bool = False,
         engine: str = "interp",
+        chain: bool = True,
         recorder: Recorder = NULL_RECORDER,
         map_stack: bool = True,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown execution engine {engine!r}")
         self.engine = engine
+        #: Direct block chaining + superblock fusion in the threaded
+        #: engine (no effect under interp).  The --no-chain escape
+        #: hatch flips this off, restoring plain per-block dispatch.
+        self.chain = chain
         #: Observability hook shared with the kernel; the default
         #: NullRecorder singleton keeps guest execution span-free.
         self.recorder = recorder
@@ -319,7 +324,7 @@ class VM:
 
                 cache = self._block_cache
                 if cache is None:
-                    cache = self._block_cache = BlockCache(self)
+                    cache = self._block_cache = BlockCache(self, chain=self.chain)
                 cache.run(max_instructions, preempt=True)
             else:
                 budget = max_instructions
@@ -348,7 +353,7 @@ class VM:
 
         cache = self._block_cache
         if cache is None:
-            cache = self._block_cache = BlockCache(self)
+            cache = self._block_cache = BlockCache(self, chain=self.chain)
         cache.run(max_instructions)
 
     # -- internals -------------------------------------------------------

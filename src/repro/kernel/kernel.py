@@ -96,6 +96,7 @@ class Kernel:
         nx: bool = False,
         fastpath: bool = True,
         engine: str = "threaded",
+        chain: bool = True,
         recorder: Optional[Recorder] = None,
     ):
         self.key = key or Key.generate()
@@ -126,6 +127,10 @@ class Kernel:
         #: basic-block translation cache, default) or "interp" (the
         #: reference interpreter).  Both are bit-identical by contract.
         self.engine = engine
+        #: Direct block chaining + superblock fusion in the threaded
+        #: engine (`chain=False`, the --no-chain escape hatch, restores
+        #: plain per-block dispatch).  Bit-identical either way.
+        self.chain = chain
         self._checker = AuthChecker(self.mac, self.costs, self.obs)
         self._authcaches: dict[int, VerifiedSiteCache] = {}
         #: Optional syscall tracer (duck-typed: .record(ctx)); used by
@@ -173,6 +178,7 @@ class Kernel:
             trap_handler=self,
             nx=self.nx,
             engine=self.engine,
+            chain=self.chain,
             recorder=self.obs,
         )
         self._vm_process[id(vm)] = process
@@ -338,6 +344,10 @@ class Kernel:
         if block_cache is not None:
             metrics.inc("engine.blocks_compiled", block_cache.compiles)
             metrics.inc("engine.blocks_evicted", block_cache.invalidations)
+            metrics.inc("engine.chains_linked", block_cache.chains_linked)
+            metrics.inc("engine.chains_severed", block_cache.chains_severed)
+            metrics.inc("engine.superblocks_fused", block_cache.superblocks_fused)
+            metrics.inc("engine.superblocks_killed", block_cache.superblocks_killed)
         if self.obs.enabled:
             self.obs.inc("engine.instructions_retired", vm.instructions_executed)
             self.obs.inc("engine.syscalls", vm.syscall_count)
@@ -345,6 +355,10 @@ class Kernel:
             if block_cache is not None:
                 self.obs.inc("engine.blocks_compiled", block_cache.compiles)
                 self.obs.inc("engine.blocks_evicted", block_cache.invalidations)
+                self.obs.inc("engine.chains_linked", block_cache.chains_linked)
+                self.obs.inc("engine.chains_severed", block_cache.chains_severed)
+                self.obs.inc("engine.superblocks_fused", block_cache.superblocks_fused)
+                self.obs.inc("engine.superblocks_killed", block_cache.superblocks_killed)
 
     # -- trap handling (TrapHandler protocol) --------------------------------
 
@@ -615,6 +629,7 @@ class Kernel:
             trap_handler=self,
             nx=self.nx,
             engine=self.engine,
+            chain=self.chain,
             recorder=self.obs,
         )
         # Accounting continuity: the scheduler's slice bookkeeping and
@@ -685,6 +700,7 @@ class Kernel:
             trap_handler=self,
             nx=self.nx,
             engine=self.engine,
+            chain=self.chain,
             recorder=self.obs,
             map_stack=False,  # the copied image already contains [stack]
         )

@@ -1,13 +1,18 @@
 """Preemptive round-robin scheduler over the kernel's processes.
 
 The run queue holds pids; each slice runs one task for at most
-``timeslice`` *instructions* (both engines account instructions
-identically, so the interleaving is bit-identical between ``interp``
-and ``threaded``).  Preemption happens at basic-block boundaries — the
-threaded engine returns control only between blocks and the
-interpreter between instructions, and since every trap terminates a
-block, an authenticated-call check is never split across a context
-switch: verification is atomic with respect to scheduling by
+``timeslice`` *instructions* (all engine configurations account
+instructions identically, so the interleaving is bit-identical between
+``interp``, ``threaded``, and ``threaded`` with block chaining and
+superblocks).  Preemption happens at basic-block boundaries — the
+threaded engine returns control only between blocks, and the
+interpreter between instructions.  Chained successors and fused
+superblocks are only entered when the remaining timeslice covers them
+(the engine otherwise falls back to its dispatch loop and, for slices
+shorter than one block, to single-stepping), so the preemption point
+lands on the same boundary in every configuration.  Since every trap
+terminates a block, an authenticated-call check is never split across
+a context switch: verification is atomic with respect to scheduling by
 construction.
 
 Everything is deterministic: no randomness, FIFO wake polling, a

@@ -14,11 +14,12 @@ the cross-cutting layer that provides it:
   and skips the call entirely, so the hot syscall path pays one
   attribute load + branch per stage and performs no allocations.
 - :class:`TraceRecorder` — captures nested spans (per-syscall
-  verification stages, engine block-compile/execute) with exact
+  verification stages, engine block-compile/block-chain/execute) with exact
   self-time accounting, exportable as Chrome ``trace_event`` JSON.
 - :class:`MetricsRegistry` — the machine-wide counter registry
   (fast-path hits, decode-cache invalidations, blocks compiled and
-  evicted, guest instructions retired, ...), exportable as a
+  evicted, chain links formed and severed, superblocks fused and
+  killed, guest instructions retired, ...), exportable as a
   Prometheus-style text dump.  :class:`repro.kernel.audit.FastPathStats`
   is a view over this registry.
 

@@ -115,6 +115,7 @@ def _run_under_kernel(args, trace_path: Optional[str] = None):
         mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
         fastpath=not args.no_fastpath,
         engine=args.engine,
+        chain=not args.no_chain,
         recorder=recorder,
     )
     for spec in args.file or []:
@@ -214,13 +215,16 @@ def _cmd_metrics(args) -> int:
 def _cmd_attacks(args) -> int:
     from repro.attacks import run_all_attacks, run_cross_process_attacks
 
-    # The battery runs under BOTH execution engines: the verdicts are a
-    # security property and must not depend on how the CPU is emulated.
+    # The battery runs under every execution-engine configuration
+    # (interp, threaded with and without block chaining): the verdicts
+    # are a security property and must not depend on how the CPU is
+    # emulated.
+    configs = [("interp", True), ("threaded", True), ("threaded", False)]
     failures = 0
-    for engine in ENGINES:
-        results = run_all_attacks(_key_from(args), engine=engine)
+    for engine, chain in configs:
+        results = run_all_attacks(_key_from(args), engine=engine, chain=chain)
         width = max(len(r.name) for r in results)
-        print(f"-- engine: {engine}")
+        print(f"-- engine: {engine}{'' if chain else ' (no chain)'}")
         for result in results:
             expected_block = result.name != "frankenstein/undefended"
             status = "BLOCKED" if result.blocked else "succeeded"
@@ -230,10 +234,12 @@ def _cmd_attacks(args) -> int:
                 failures += 1
     # Multiprogramming battery: cross-process attacks under the
     # preemptive scheduler.  Every one of these must be blocked.
-    for engine in ENGINES:
-        results = run_cross_process_attacks(_key_from(args), engine=engine)
+    for engine, chain in configs:
+        results = run_cross_process_attacks(
+            _key_from(args), engine=engine, chain=chain
+        )
         width = max(len(r.name) for r in results)
-        print(f"-- engine: {engine} (cross-process)")
+        print(f"-- engine: {engine}{'' if chain else ' (no chain)'} (cross-process)")
         for result in results:
             status = "BLOCKED" if result.blocked else "succeeded"
             marker = "ok" if result.blocked else "UNEXPECTED"
@@ -342,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CPU execution engine: the basic-block "
                               "translation cache (threaded, default) or the "
                               "reference interpreter (interp)")
+        cmd.add_argument("--no-chain", action="store_true",
+                         help="disable direct block chaining and superblock "
+                              "fusion in the threaded engine (plain "
+                              "per-block dispatch)")
 
     cmd = commands.add_parser("run", help="run under the checking kernel")
     _add_run_arguments(cmd)

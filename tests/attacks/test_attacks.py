@@ -81,6 +81,13 @@ class TestBattery:
         defended = [r for r in results if r.name != "frankenstein/undefended"]
         assert all(r.blocked for r in defended)
 
+    def test_verdicts_independent_of_chaining(self, results):
+        # Block chaining is a pure engine optimisation; disabling it
+        # must not change a single verdict or kill reason.
+        nochain = run_all_attacks(KEY, chain=False)
+        assert [(r.name, r.blocked, r.kill_reason) for r in nochain] == \
+            [(r.name, r.blocked, r.kill_reason) for r in results]
+
     def test_benign_run_unharmed(self):
         # The victim with a well-behaved input runs to completion and
         # actually lists the file (execve of /bin/ls succeeds).

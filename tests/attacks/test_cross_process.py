@@ -34,12 +34,18 @@ class TestCrossProcessAttacks:
 
     def test_battery_engine_and_fastpath_independent(self, key):
         """Verdicts are a security property: identical under the
-        interpreter and with the verification cache disabled."""
-        for engine, fastpath in (("interp", True), ("threaded", False)):
+        interpreter, with the verification cache disabled, and with
+        block chaining on or off."""
+        for engine, fastpath, chain in (
+            ("interp", True, True),
+            ("threaded", False, True),
+            ("threaded", True, False),
+        ):
             results = run_cross_process_attacks(
-                key, fastpath=fastpath, engine=engine
+                key, fastpath=fastpath, engine=engine, chain=chain
             )
-            assert [r.blocked for r in results] == [True, True, True]
+            assert [r.blocked for r in results] == [True, True, True], (
+                engine, fastpath, chain)
 
     def test_single_process_battery_shape_unchanged(self, key):
         """run_all_attacks keeps its published 7-scenario shape; the

@@ -2,17 +2,27 @@
 
 Two runs with the same programs and timeslice must produce identical
 interleavings, exit statuses, and scheduler metrics — and the property
-must hold ACROSS engines, because both account instructions
-identically."""
+must hold ACROSS engine configurations (interpreter, plain threaded,
+threaded with direct block chaining and superblock fusion), because
+every configuration accounts instructions identically and only enters
+chained successors or fused superblocks when the remaining timeslice
+covers them."""
 
 import pytest
 
 from repro.kernel import Kernel
 from repro.workloads.multiproc import build_server
 
+#: label -> (engine, chain)
+CONFIGS = {
+    "interp": ("interp", True),
+    "threaded": ("threaded", False),
+    "chained": ("threaded", True),
+}
 
-def _run(engine: str, timeslice: int = 500):
-    kernel = Kernel(engine=engine)
+
+def _run(engine: str, chain: bool = True, timeslice: int = 500):
+    kernel = Kernel(engine=engine, chain=chain)
     multi = kernel.run_many(
         [build_server(workers=4, requests=16)], timeslice=timeslice
     )
@@ -28,21 +38,26 @@ def _run(engine: str, timeslice: int = 500):
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("engine", ["interp", "threaded"])
-    def test_repeated_runs_identical(self, engine):
-        first = _run(engine)
-        second = _run(engine)
+    @pytest.mark.parametrize("config", sorted(CONFIGS))
+    def test_repeated_runs_identical(self, config):
+        engine, chain = CONFIGS[config]
+        first = _run(engine, chain)
+        second = _run(engine, chain)
         assert first == second
 
     def test_cross_engine_identical(self):
-        """The acceptance property: interp and threaded consume
+        """The acceptance property: every engine configuration consumes
         exactly the same instruction counts per slice, so a
-        multiprogrammed run schedules identically on both."""
-        interleaving_i, statuses_i, metrics_i = _run("interp")
-        interleaving_t, statuses_t, metrics_t = _run("threaded")
-        assert interleaving_i == interleaving_t
-        assert statuses_i == statuses_t
-        assert metrics_i == metrics_t
+        multiprogrammed run schedules identically on all of them —
+        preemption points land on the same boundaries even when they
+        fall where the chained engine would otherwise hop a chain link
+        or start a superblock pass."""
+        results = {label: _run(engine, chain)
+                   for label, (engine, chain) in CONFIGS.items()}
+        for label, (interleaving, statuses, metrics) in results.items():
+            assert interleaving == results["interp"][0], label
+            assert statuses == results["interp"][1], label
+            assert metrics == results["interp"][2], label
 
     def test_timeslice_changes_interleaving_but_not_results(self):
         _, statuses_a, _ = _run("threaded", timeslice=500)
@@ -50,3 +65,13 @@ class TestDeterminism:
         interleaving_a, _, _ = _run("threaded", timeslice=500)
         assert statuses_a == statuses_b
         assert interleaving_a != interleaving_b
+
+    def test_tight_timeslices_identical_across_configs(self):
+        """Small timeslices force preemptions to land mid-loop, right
+        where chains and superblocks live; the interleaving must stay
+        engine-invariant there too."""
+        for timeslice in (37, 101):
+            results = {label: _run(engine, chain, timeslice=timeslice)
+                       for label, (engine, chain) in CONFIGS.items()}
+            for label, result in results.items():
+                assert result == results["interp"], (label, timeslice)
