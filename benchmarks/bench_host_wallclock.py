@@ -40,6 +40,7 @@ the interpreter (tiny workloads are dominated by load/install time,
 not execution).
 """
 
+import gc
 import json
 import os
 import pathlib
@@ -71,6 +72,27 @@ CHAIN_GATE_WORKLOAD = "gzip-spec"
 CHAINED_VS_INTERP_GATE = 5.0
 CHAINED_VS_THREADED_GATE = 1.3
 
+#: The §3.4 verification stages (plus the verifier JIT's own compile
+#: span): the share of traced time they consume is the per-syscall
+#: verify surcharge the verifier specialization engine attacks.
+VERIFY_STAGES = frozenset({
+    "syscall-verify",
+    "policy-decode",
+    "mac-check",
+    "string-auth",
+    "memory-checker",
+    "verifier-compile",
+})
+
+#: PR 7 acceptance gate: verify-stage share of traced time on
+#: ``VERIFY_GATE_WORKLOAD``.  ``VERIFY_SHARE_PR6_BASELINE`` is the
+#: share the PR 6 kernel recorded in BENCH_host_wallclock.json before
+#: verifier specialization existed; the JIT must beat it by at least
+#: ``VERIFY_SHARE_IMPROVEMENT_GATE``.
+VERIFY_GATE_WORKLOAD = "gzip-spec"
+VERIFY_SHARE_PR6_BASELINE = 0.4033
+VERIFY_SHARE_IMPROVEMENT_GATE = 1.5
+
 
 def _selected_workloads() -> tuple:
     override = os.environ.get("REPRO_WALLCLOCK_WORKLOADS")
@@ -82,22 +104,54 @@ def _selected_workloads() -> tuple:
     return names
 
 
+#: Timed repetitions per configuration; the *fastest* run is reported
+#: (min-of-N).  Every gated number here is a ratio of two timings, so
+#: single-shot measurements make the gates hostage to scheduler noise
+#: on a shared host; min-of-N approximates the undisturbed time.
+TIMING_REPEATS = int(os.environ.get("REPRO_WALLCLOCK_REPEATS", "3"))
+
+
+def _best_of(run_once) -> dict:
+    """Run ``run_once`` TIMING_REPEATS times, keep the fastest.
+
+    The architecture results (instructions, cycles, syscalls, exit
+    status) are deterministic and must agree across repeats — that is
+    asserted, so a repeat can never mask a nondeterminism bug."""
+    best = None
+    for _ in range(max(1, TIMING_REPEATS)):
+        # Collect garbage from previous runs *before* timing, so a GC
+        # pause triggered by another configuration's allocations never
+        # lands inside this one's measurement window.
+        gc.collect()
+        sample = run_once()
+        if best is not None:
+            for field in ("instructions", "cycles", "syscalls", "exit_status"):
+                assert sample[field] == best[field], (field, sample, best)
+        if best is None or sample["host_seconds"] < best["host_seconds"]:
+            best = sample
+    return best
+
+
 def _time_run(name: str, engine: str, iterations: int, chain: bool) -> dict:
     binary = install(build_spec_program(name, iterations=iterations),
                      BENCH_KEY).binary
-    kernel = Kernel(key=BENCH_KEY, engine=engine, chain=chain)
-    start = time.perf_counter()
-    result = kernel.run(binary, argv=[name], max_instructions=500_000_000)
-    host_seconds = time.perf_counter() - start
-    assert result.ok, (name, engine, chain, result.kill_reason)
-    return {
-        "host_seconds": host_seconds,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "syscalls": result.syscalls,
-        "exit_status": result.exit_status,
-        "ips": result.instructions / host_seconds,
-    }
+
+    def run_once() -> dict:
+        kernel = Kernel(key=BENCH_KEY, engine=engine, chain=chain)
+        start = time.perf_counter()
+        result = kernel.run(binary, argv=[name], max_instructions=500_000_000)
+        host_seconds = time.perf_counter() - start
+        assert result.ok, (name, engine, chain, result.kill_reason)
+        return {
+            "host_seconds": host_seconds,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "syscalls": result.syscalls,
+            "exit_status": result.exit_status,
+            "ips": result.instructions / host_seconds,
+        }
+
+    return _best_of(run_once)
 
 
 def _time_run_sched(name: str, iterations: int) -> dict:
@@ -107,24 +161,28 @@ def _time_run_sched(name: str, iterations: int) -> dict:
     sched-parity gate in check_wallclock_regression.py enforces it."""
     binary = install(build_spec_program(name, iterations=iterations),
                      BENCH_KEY).binary
-    kernel = Kernel(key=BENCH_KEY, engine="threaded")
-    start = time.perf_counter()
-    multi = kernel.run_many(
-        [(binary, [name], b"")],
-        timeslice=1_000_000,
-        max_instructions=500_000_000,
-    )
-    host_seconds = time.perf_counter() - start
-    result = multi.results[0]
-    assert result.ok, (name, "threaded_sched", result.kill_reason)
-    return {
-        "host_seconds": host_seconds,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "syscalls": result.syscalls,
-        "exit_status": result.exit_status,
-        "ips": result.instructions / host_seconds,
-    }
+
+    def run_once() -> dict:
+        kernel = Kernel(key=BENCH_KEY, engine="threaded")
+        start = time.perf_counter()
+        multi = kernel.run_many(
+            [(binary, [name], b"")],
+            timeslice=1_000_000,
+            max_instructions=500_000_000,
+        )
+        host_seconds = time.perf_counter() - start
+        result = multi.results[0]
+        assert result.ok, (name, "threaded_sched", result.kill_reason)
+        return {
+            "host_seconds": host_seconds,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "syscalls": result.syscalls,
+            "exit_status": result.exit_status,
+            "ips": result.instructions / host_seconds,
+        }
+
+    return _best_of(run_once)
 
 
 def _trace_stages(name: str, engine: str, iterations: int) -> dict:
@@ -146,8 +204,17 @@ def _trace_stages(name: str, engine: str, iterations: int) -> dict:
     # noise far below the 5% acceptance bound).
     self_sum = sum(entry["self_ns"] for entry in totals.values())
     assert traced_ns and abs(self_sum - traced_ns) <= 0.05 * traced_ns
+    verify_self_ns = sum(
+        entry["self_ns"]
+        for stage, entry in totals.items()
+        if stage in VERIFY_STAGES
+    )
     return {
         "traced_seconds": round(traced_ns / 1e9, 4),
+        # First-class verify surcharge: the fraction of traced host
+        # time spent in verification stages (gated by
+        # check_wallclock_regression.py on the gate workload).
+        "verify_share": round(verify_self_ns / traced_ns, 4),
         "stages": {
             stage: {
                 "count": entry["count"],
@@ -191,6 +258,9 @@ def test_host_wallclock(benchmark, report):
         "chained_vs_interp_gate": CHAINED_VS_INTERP_GATE,
         "chained_vs_threaded_gate": CHAINED_VS_THREADED_GATE,
         "chain_gate_workload": CHAIN_GATE_WORKLOAD,
+        "verify_gate_workload": VERIFY_GATE_WORKLOAD,
+        "verify_share_pr6_baseline": VERIFY_SHARE_PR6_BASELINE,
+        "verify_share_improvement_gate": VERIFY_SHARE_IMPROVEMENT_GATE,
         "workloads": {},
     }
     for name in workloads:
@@ -211,6 +281,11 @@ def test_host_wallclock(benchmark, report):
             assert interp[field] == chained[field], (name, "chained", field)
             assert interp[field] == sched[field], (name, "sched", field)
 
+        observability = _trace_stages(
+            name, "threaded", measured[name]["iterations"]
+        )
+        verify_share = observability["verify_share"]
+
         rows.append([
             name,
             measured[name]["iterations"],
@@ -222,6 +297,7 @@ def test_host_wallclock(benchmark, report):
             f"{chained_speedup:.2f}x",
             f"{chain_gain:.2f}x",
             f"{sched_parity:.2f}x",
+            f"{verify_share:.1%}",
         ])
         payload["workloads"][name] = {
             "iterations": measured[name]["iterations"],
@@ -246,9 +322,8 @@ def test_host_wallclock(benchmark, report):
             "chained_speedup": round(chained_speedup, 2),
             "chain_gain": round(chain_gain, 2),
             "sched_parity": round(sched_parity, 3),
-            "observability": _trace_stages(
-                name, "threaded", measured[name]["iterations"]
-            ),
+            "verify_share": verify_share,
+            "observability": observability,
         }
 
         # The gates: never slower than the interpreter; the full-scale
@@ -263,11 +338,19 @@ def test_host_wallclock(benchmark, report):
                     name, "threaded_chained vs interp", chained_speedup)
                 assert chain_gain >= CHAINED_VS_THREADED_GATE, (
                     name, "threaded_chained vs threaded", chain_gain)
+            if name == VERIFY_GATE_WORKLOAD:
+                ceiling = (
+                    VERIFY_SHARE_PR6_BASELINE / VERIFY_SHARE_IMPROVEMENT_GATE
+                )
+                assert verify_share <= ceiling, (
+                    name, "verify share vs PR 6 baseline",
+                    verify_share, ceiling)
 
     table = format_table(
         ["Workload", "Iterations", "Guest instrs",
          "interp instr/s", "threaded instr/s", "chained instr/s",
-         "Thr/interp", "Chain/interp", "Chain/thr", "Sched parity"],
+         "Thr/interp", "Chain/interp", "Chain/thr", "Sched parity",
+         "Verify share"],
         rows,
         title="Host wall-clock throughput: translation cache and "
               "direct block chaining vs reference interpreter "
@@ -276,7 +359,11 @@ def test_host_wallclock(benchmark, report):
               f"{CHAINED_VS_INTERP_GATE}x interp and >="
               f"{CHAINED_VS_THREADED_GATE}x threaded on "
               f"{CHAIN_GATE_WORKLOAD}; sched parity = single process "
-              "under the scheduler vs chained)",
+              "under the scheduler vs chained; verify share = "
+              "verification-stage self time / traced time, gated <= "
+              f"{VERIFY_SHARE_PR6_BASELINE}/"
+              f"{VERIFY_SHARE_IMPROVEMENT_GATE} on "
+              f"{VERIFY_GATE_WORKLOAD})",
     )
     report("host_wallclock", table)
 

@@ -19,6 +19,11 @@ Every failure message names the workload, the engine column, and both
 absolute numbers, so a tripped gate in CI identifies the offending
 measurement without re-running anything.
 
+Two host-invariant ratio gates ride along: scheduler parity (a single
+process under the scheduler must run at ~the bare engine's speed) and
+the verify-stage share of traced time (the per-syscall verification
+surcharge the verifier JIT keeps low; see ``check_verify_share``).
+
 Absolute instr/sec varies across host machines, so 0.7x is a coarse
 tripwire for catastrophic regressions (an accidental de-optimisation of
 the translation cache, a recorder guard left unconditioned, chaining
@@ -33,6 +38,23 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.7
+
+#: Verify-surcharge gate (PR 7).  ``verify_share`` is the fraction of
+#: traced host time spent in the §3.4 verification stages (a
+#: host-invariant ratio, like sched parity).  Against a baseline that
+#: predates the field — the PR 6 era — the current measurement must
+#: beat the hard-coded PR 6 share by ``VERIFY_IMPROVEMENT_GATE`` on
+#: the gate workload; against a post-JIT baseline the share must not
+#: creep back up by more than ``VERIFY_CREEP_ALLOWANCE``.
+VERIFY_GATE_WORKLOAD = "gzip-spec"
+VERIFY_SHARE_PR6_BASELINE = 0.4033
+VERIFY_IMPROVEMENT_GATE = 1.5
+#: Scaled-down CI runs amortize thunk compilation over fewer syscalls,
+#: so their share runs a little above the committed full-scale number;
+#: 1.5x absorbs that while still tripping on the catastrophic case (a
+#: disabled/broken JIT puts the share back at ~0.40, over any ceiling
+#: derived from a post-JIT baseline).
+VERIFY_CREEP_ALLOWANCE = 1.5
 
 #: Engine columns gated against the committed baseline, in report
 #: order.  ``threaded_chained`` is absent from pre-chaining baselines
@@ -112,6 +134,54 @@ def check_sched_parity(current: dict, threshold: float) -> list[str]:
     return failures
 
 
+def check_verify_share(baseline: dict, current: dict) -> list[str]:
+    """The verify-surcharge gate on ``VERIFY_GATE_WORKLOAD``.
+
+    Two regimes, detected by whether the baseline already records
+    ``verify_share``:
+
+    - pre-JIT baseline (PR 6 and earlier): the verifier specialization
+      engine must prove its worth — current share at most the PR 6
+      reference divided by ``VERIFY_IMPROVEMENT_GATE``.
+    - post-JIT baseline: anti-regression — current share at most
+      ``VERIFY_CREEP_ALLOWANCE`` times the baseline's share.
+    """
+    failures = []
+    entry = current.get("workloads", {}).get(VERIFY_GATE_WORKLOAD, {})
+    share = entry.get("verify_share")
+    if share is None:
+        obs = entry.get("observability", {})
+        share = obs.get("verify_share")
+    if share is None:
+        print(f"{VERIFY_GATE_WORKLOAD:12s} verify share: not measured "
+              "[skipped]")
+        return failures
+    base_entry = baseline.get("workloads", {}).get(VERIFY_GATE_WORKLOAD, {})
+    base_share = base_entry.get("verify_share")
+    if base_share is None:
+        base_share = base_entry.get("observability", {}).get("verify_share")
+    if base_share is None:
+        # Pre-JIT baseline: demand the improvement, not mere parity.
+        ceiling = VERIFY_SHARE_PR6_BASELINE / VERIFY_IMPROVEMENT_GATE
+        origin = (f"PR 6 reference {VERIFY_SHARE_PR6_BASELINE} / "
+                  f"{VERIFY_IMPROVEMENT_GATE}")
+    else:
+        ceiling = base_share * VERIFY_CREEP_ALLOWANCE
+        origin = f"baseline {base_share} x {VERIFY_CREEP_ALLOWANCE}"
+    status = "ok" if share <= ceiling else "REGRESSION"
+    print(
+        f"{VERIFY_GATE_WORKLOAD:12s} verify share={share:.4f}  "
+        f"ceiling={ceiling:.4f} ({origin})  [{status}]"
+    )
+    if share > ceiling:
+        failures.append(
+            f"workload '{VERIFY_GATE_WORKLOAD}': verify-stage share of "
+            f"traced time is {share:.4f}, above the gate ceiling "
+            f"{ceiling:.4f} ({origin})"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -126,6 +196,9 @@ def main(argv=None) -> int:
                         help="minimum scheduled/bare single-process ratio "
                              "within the current measurement "
                              f"(default {DEFAULT_SCHED_PARITY}; 0 disables)")
+    parser.add_argument("--no-verify-share-gate", action="store_true",
+                        help="skip the verify-stage share gate on "
+                             f"{VERIFY_GATE_WORKLOAD}")
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as handle:
@@ -136,6 +209,8 @@ def main(argv=None) -> int:
     failures = compare(baseline, current, args.threshold)
     if args.sched_parity_threshold > 0:
         failures += check_sched_parity(current, args.sched_parity_threshold)
+    if not args.no_verify_share_gate:
+        failures += check_verify_share(baseline, current)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -42,7 +42,6 @@ from repro.crypto import Key
 from repro.installer import InstallerOptions, install
 from repro.isa import Instruction
 from repro.isa.opcodes import Op
-from repro.kernel import Kernel
 from repro.kernel.sched.scheduler import Scheduler, Task
 from repro.kernel.syscalls import SYSCALL_NUMBERS
 from repro.workloads.runtime import runtime_source
@@ -140,7 +139,11 @@ msg:
 
 
 def cross_process_replay_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Run three instances of one installed program; after the first
     instance's counter advances, copy its live lastBlock/lbMAC into
@@ -150,7 +153,9 @@ def cross_process_replay_attack(
     while A and C run on."""
     key = key or Key.generate()
     installed = install(_looper_binary(), key, InstallerOptions())
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     polstate = link(installed.binary).address_of("__asc_polstate")
 
     scheduler = Scheduler(kernel, timeslice=1000)
@@ -194,7 +199,11 @@ def cross_process_replay_attack(
 
 
 def fork_counter_confusion_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """At fork, parent and child hold byte-identical polstate and equal
     counters — a mutually consistent pair, by construction.  Once the
@@ -203,7 +212,9 @@ def fork_counter_confusion_attack(
     so the MAC fails and only the child is fail-stopped."""
     key = key or Key.generate()
     installed = install(_forker_binary(), key, InstallerOptions())
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     polstate = link(installed.binary).address_of("__asc_polstate")
 
     scheduler = Scheduler(kernel, timeslice=800)
@@ -376,13 +387,20 @@ pfd2:
 
 
 def _find_pipe_buffer_address(
-    key: Key, victim_bytes: bytes, fastpath: bool, engine: str, chain: bool
+    key: Key,
+    victim_bytes: bytes,
+    fastpath: bool,
+    engine: str,
+    chain: bool,
+    verifier_jit: bool,
 ) -> int:
     """Discovery run: launch the full pipe-fed setup with dummy
     payloads and capture r2 at the victim's stdin read.  The address
     only depends on the victim image and argv, so it holds for the
     real run."""
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     kernel.vfs.write_file("/bin/victim", victim_bytes)
     launcher = _launcher_binary(b"/etc/motd\x00", b"/etc/motd\x00")
     captured: list[int] = []
@@ -408,7 +426,11 @@ def _find_pipe_buffer_address(
 
 
 def pipe_fed_tamper_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Feed a stack-smashing payload through a kernel pipe into a
     protected victim's blocking read, while an identical sibling gets
@@ -419,7 +441,7 @@ def pipe_fed_tamper_attack(
     installed = install(build_victim(), key, InstallerOptions())
     victim_bytes = installed.binary.to_bytes()
     buffer_address = _find_pipe_buffer_address(
-        key, victim_bytes, fastpath, engine, chain
+        key, victim_bytes, fastpath, engine, chain, verifier_jit
     )
 
     string_address = buffer_address + 48
@@ -433,7 +455,9 @@ def pipe_fed_tamper_attack(
     payload = code.ljust(48, b"\x00") + b"/bin/sh\x00".ljust(16, b"\x00")
     payload += struct.pack("<I", buffer_address)  # smashed return address
 
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     kernel.vfs.write_file("/bin/victim", victim_bytes)
     launcher = _launcher_binary(payload, b"/etc/motd\x00")
     multi = kernel.run_many([launcher], timeslice=700)
@@ -465,14 +489,16 @@ def run_cross_process_attacks(
     fastpath: bool = True,
     engine: str = "threaded",
     chain: bool = True,
+    verifier_jit: bool = True,
 ) -> list[AttackResult]:
     """The multiprogramming battery.  Separate from
     :func:`repro.attacks.scenarios.run_all_attacks` (whose length is a
     published experiment shape) but with the same contract: outcomes
     must be identical with the fast path off and under either engine."""
     key = key or Key.generate()
+    common = dict(fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit)
     return [
-        cross_process_replay_attack(key, fastpath=fastpath, engine=engine, chain=chain),
-        fork_counter_confusion_attack(key, fastpath=fastpath, engine=engine, chain=chain),
-        pipe_fed_tamper_attack(key, fastpath=fastpath, engine=engine, chain=chain),
+        cross_process_replay_attack(key, **common),
+        fork_counter_confusion_attack(key, **common),
+        pipe_fed_tamper_attack(key, **common),
     ]

@@ -63,10 +63,15 @@ msg:
 
 
 def _prepare_kernel(
-    key: Key, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Key,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> Kernel:
     kernel = Kernel(
-        key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath, engine=engine, chain=chain
+        key=key, mode=EnforcementMode.PERMISSIVE, fastpath=fastpath, engine=engine,
+        chain=chain, verifier_jit=verifier_jit,
     )
     kernel.vfs.write_file("/bin/sh", _marker_program(_SH_MARKER))
     kernel.vfs.write_file("/bin/ls", _marker_program(_LS_MARKER))
@@ -106,8 +111,11 @@ def _run_with_payload(
     fastpath: bool = True,
     engine: str = "threaded",
     chain: bool = True,
+    verifier_jit: bool = True,
 ):
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     process, vm = kernel.load(installed.binary, stdin=payload)
     if mutate:
         mutate(kernel, vm)
@@ -125,7 +133,11 @@ def _encode(instructions) -> bytes:
 
 
 def shellcode_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Overflow the buffer, run injected code that issues a raw
     execve("/bin/sh") system call."""
@@ -148,7 +160,8 @@ def shellcode_attack(
     payload += struct.pack("<I", buffer_address)  # smashed return address
 
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain
+        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain,
+        verifier_jit=verifier_jit,
     )
     return AttackResult(
         name="shellcode",
@@ -170,6 +183,7 @@ def mimicry_attack(
     fastpath: bool = True,
     engine: str = "threaded",
     chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Reuse the victim's *authenticated* execve call out of context.
 
@@ -212,7 +226,8 @@ def mimicry_attack(
 
     payload = code.ljust(BUFFER_SIZE, b"\x00") + struct.pack("<I", buffer_address)
     kernel, process, vm = _run_with_payload(
-        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain
+        key, installed, payload, fastpath=fastpath, engine=engine, chain=chain,
+        verifier_jit=verifier_jit,
     )
     return AttackResult(
         name=f"mimicry/{variant}",
@@ -229,7 +244,11 @@ def mimicry_attack(
 
 
 def non_control_data_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Swap the constant "/bin/ls" for "/bin/sh" in memory.
 
@@ -245,7 +264,7 @@ def non_control_data_attack(
 
     kernel, process, vm = _run_with_payload(
         key, installed, b"/etc/motd\x00", mutate=corrupt, fastpath=fastpath,
-        engine=engine,
+        engine=engine, verifier_jit=verifier_jit,
     )
     return AttackResult(
         name="non-control-data",
@@ -267,6 +286,7 @@ def frankenstein_attack(
     fastpath: bool = True,
     engine: str = "threaded",
     chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Transplant program B's authenticated execve (of /bin/sh) into
     program A.  Both programs are legitimately installed on the same
@@ -306,7 +326,7 @@ def frankenstein_attack(
 
     kernel, process, vm = _run_with_payload(
         key, installed_a, b"/etc/motd\x00", mutate=transplant, fastpath=fastpath,
-        engine=engine,
+        engine=engine, verifier_jit=verifier_jit,
     )
     spawned_shell = _SH_MARKER in process.stdout
     return AttackResult(
@@ -327,7 +347,11 @@ def frankenstein_attack(
 
 
 def replay_attack(
-    key: Optional[Key] = None, fastpath: bool = True, engine: str = "threaded", chain: bool = True
+    key: Optional[Key] = None,
+    fastpath: bool = True,
+    engine: str = "threaded",
+    chain: bool = True,
+    verifier_jit: bool = True,
 ) -> AttackResult:
     """Snapshot lastBlock/lbMAC *before* the open executes; let the
     open run (advancing the kernel counter); then restore the stale
@@ -337,7 +361,9 @@ def replay_attack(
     counter and fail-stops instead."""
     key = key or Key.generate()
     installed = _install_victim(key)
-    kernel = _prepare_kernel(key, fastpath=fastpath, engine=engine, chain=chain)
+    kernel = _prepare_kernel(
+        key, fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit
+    )
     process, vm = kernel.load(installed.binary, stdin=b"/etc/motd\x00")
 
     image = link(installed.binary)
@@ -380,6 +406,7 @@ def run_all_attacks(
     fastpath: bool = True,
     engine: str = "threaded",
     chain: bool = True,
+    verifier_jit: bool = True,
 ) -> list[AttackResult]:
     """The full §4.1 + §5.5 battery.
 
@@ -391,12 +418,13 @@ def run_all_attacks(
     freshly written stack bytes, which exercises the threaded engine's
     invalidation protocol end to end)."""
     key = key or Key.generate()
+    common = dict(fastpath=fastpath, engine=engine, chain=chain, verifier_jit=verifier_jit)
     return [
-        shellcode_attack(key, fastpath=fastpath, engine=engine, chain=chain),
-        mimicry_attack(key, "call-graph", fastpath=fastpath, engine=engine, chain=chain),
-        mimicry_attack(key, "call-site", fastpath=fastpath, engine=engine, chain=chain),
-        non_control_data_attack(key, fastpath=fastpath, engine=engine, chain=chain),
-        frankenstein_attack(key, defense=True, fastpath=fastpath, engine=engine, chain=chain),
-        frankenstein_attack(key, defense=False, fastpath=fastpath, engine=engine, chain=chain),
-        replay_attack(key, fastpath=fastpath, engine=engine, chain=chain),
+        shellcode_attack(key, **common),
+        mimicry_attack(key, "call-graph", **common),
+        mimicry_attack(key, "call-site", **common),
+        non_control_data_attack(key, **common),
+        frankenstein_attack(key, defense=True, **common),
+        frankenstein_attack(key, defense=False, **common),
+        replay_attack(key, **common),
     ]

@@ -19,6 +19,9 @@ Stands in for the paper's modified Linux kernel.  The pieces:
 - :mod:`repro.kernel.authcache` -- the per-process verification fast
   path (cached call-MAC checks; see DESIGN.md "Performance
   architecture").
+- :mod:`repro.kernel.verifierjit` -- per-site verifier specialization
+  (compiled SiteThunks riding on the fast path's invalidation
+  machinery; see DESIGN.md "Verifier specialization").
 """
 
 from repro.kernel.errors import Errno
@@ -27,6 +30,7 @@ from repro.kernel.audit import FastPathSnapshot, FastPathStats
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
 from repro.kernel.kernel import EnforcementMode, Kernel, RunResult
+from repro.kernel.verifierjit import SiteThunk, VerifierJit
 
 __all__ = [
     "CostModel",
@@ -36,7 +40,9 @@ __all__ = [
     "FastPathStats",
     "Kernel",
     "RunResult",
+    "SiteThunk",
     "VerifiedSiteCache",
+    "VerifierJit",
     "Vfs",
     "VfsError",
 ]

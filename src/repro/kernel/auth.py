@@ -123,13 +123,14 @@ class AuthChecker:
         read_as = cache.read_as if cache is not None else read_authenticated_string
 
         # Observability: the four verification stages of the paper's
-        # cost breakdown, as nested spans under "syscall-verify".  A
-        # violation aborts mid-stage; the kernel unwinds the span stack
-        # (close_to) after the kill, so pairs always balance.
+        # cost breakdown, as nested spans under the kernel's
+        # "syscall-verify" root (the trap handler owns that span so the
+        # verifier-JIT fast path and this full check share one span per
+        # trap).  A violation aborts mid-stage; the kernel unwinds the
+        # span stack (close_to) after the kill, so pairs always balance.
         rec = self._recorder
         traced = rec.enabled
         if traced:
-            rec.begin("syscall-verify", "verify")
             rec.begin("policy-decode", "verify")
 
         try:
@@ -274,8 +275,6 @@ class AuthChecker:
         fd_allowed: frozenset = frozenset()
         if fd_allowed_as is not None:
             fd_allowed = unpack_predecessor_set(fd_allowed_as.content)
-        if traced:
-            rec.end()  # syscall-verify
         return CheckResult(
             syscall_number=syscall_number,
             block_id=record.block_id,
@@ -376,16 +375,22 @@ class AuthChecker:
                 )
 
     def _read_hints(self, vm: VM) -> tuple[int, ...]:
-        hint_ptr = vm.regs[8]
-        if not hint_ptr:
-            return ()
-        try:
-            count = vm.memory.read_u32(hint_ptr, force=True)
-            if count > MAX_HINT_WORDS:
-                raise AuthViolation(f"oversized hint block ({count} words)")
-            raw = vm.memory.read(hint_ptr + 4, 4 * count, force=True)
-        except MemoryFault as fault:
-            raise AuthViolation(f"unreadable hint block: {fault}") from fault
-        return tuple(
-            struct.unpack_from("<I", raw, 4 * i)[0] for i in range(count)
-        )
+        return read_hint_words(vm)
+
+
+def read_hint_words(vm: VM) -> tuple[int, ...]:
+    """Read the r8 proof-hint block (shared by the generic checker and
+    the verifier-JIT thunks; both must bound and fault identically)."""
+    hint_ptr = vm.regs[8]
+    if not hint_ptr:
+        return ()
+    try:
+        count = vm.memory.read_u32(hint_ptr, force=True)
+        if count > MAX_HINT_WORDS:
+            raise AuthViolation(f"oversized hint block ({count} words)")
+        raw = vm.memory.read(hint_ptr + 4, 4 * count, force=True)
+    except MemoryFault as fault:
+        raise AuthViolation(f"unreadable hint block: {fault}") from fault
+    return tuple(
+        struct.unpack_from("<I", raw, 4 * i)[0] for i in range(count)
+    )

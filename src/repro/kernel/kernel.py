@@ -36,6 +36,7 @@ from repro.kernel.syscalls import (
     SyscallContext,
     dispatch,
 )
+from repro.kernel.verifierjit import VerifierJit
 from repro.kernel.vfs import Vfs
 from repro.obs import NULL_RECORDER, MetricsRegistry, Recorder
 from repro.policy.capability import CapabilityTable
@@ -97,6 +98,7 @@ class Kernel:
         fastpath: bool = True,
         engine: str = "threaded",
         chain: bool = True,
+        verifier_jit: bool = True,
         recorder: Optional[Recorder] = None,
     ):
         self.key = key or Key.generate()
@@ -131,8 +133,15 @@ class Kernel:
         #: engine (`chain=False`, the --no-chain escape hatch, restores
         #: plain per-block dispatch).  Bit-identical either way.
         self.chain = chain
+        #: Verifier specialization (per-process SiteThunk partitions,
+        #: see kernel/verifierjit.py).  Rides on the fast path — only
+        #: active when ``fastpath`` is too — and `verifier_jit=False`
+        #: (the --no-verifier-jit escape hatch) restores the generic
+        #: checker for every trap.  Bit-identical either way.
+        self.verifier_jit = verifier_jit
         self._checker = AuthChecker(self.mac, self.costs, self.obs)
         self._authcaches: dict[int, VerifiedSiteCache] = {}
+        self._jits: dict[int, VerifierJit] = {}
         #: Optional syscall tracer (duck-typed: .record(ctx)); used by
         #: the training-based baseline monitors.
         self.tracer = None
@@ -185,8 +194,26 @@ class Kernel:
         self._capabilities[process.pid] = CapabilityTable()
         if self.fastpath:
             self._authcaches[process.pid] = VerifiedSiteCache()
+            if self.verifier_jit:
+                self._jits[process.pid] = self._new_jit()
         self._setup_argv(vm, argv or [process.name])
         return process, vm
+
+    def _new_jit(self) -> VerifierJit:
+        """A fresh per-process thunk partition (load/fork/execve)."""
+        return VerifierJit(self.mac, self.costs, self.metrics, self.obs)
+
+    def _drop_jit(self, pid: int) -> None:
+        """Tear down a pid's thunk partition (exit/execve), folding its
+        dropped thunks into the invalidation counters."""
+        jit = self._jits.pop(pid, None)
+        if jit is None:
+            return
+        dropped = jit.invalidate()
+        if dropped:
+            self.metrics.inc("verifier.thunks_invalidated", dropped)
+            if self.obs.enabled:
+                self.obs.inc("verifier.thunks_invalidated", dropped)
 
     def _map_image(self, image) -> tuple[Memory, int]:
         """Map a linked image's segments plus a fresh heap; shared by
@@ -325,6 +352,7 @@ class Kernel:
             self.audit.fastpath.invalidations += dropped
             if self.obs.enabled:
                 self.obs.inc("fastpath.invalidations", dropped)
+        self._drop_jit(process.pid)
         self._sync_engine_metrics(vm)
 
     def _allocate_pid(self) -> int:
@@ -389,24 +417,38 @@ class Kernel:
         return self._dispatch(vm, process, number)
 
     def _handle_asys(self, vm: VM, process: Process) -> int:
-        """An authenticated ASYS trap: check, then dispatch."""
+        """An authenticated ASYS trap: check, then dispatch.
+
+        The kernel owns the "syscall-verify" root span (one per trap)
+        so the verifier-JIT fast path and the generic checker's staged
+        pipeline present the same span tree shape to the recorder."""
         rec = self.obs
         traced = rec.enabled
         if traced:
             span_depth = rec.open_spans
-        try:
-            result = self._checker.check(
-                vm, process, self._authcaches.get(process.pid)
-            )
-        except AuthViolation as violation:
-            number = vm.regs[0]
-            name = SYSCALL_NAMES.get(number, f"syscall#{number}")
-            if traced:
-                # A violation aborts the checker mid-stage; rebalance
-                # the span stack before the kill unwinds the VM.
-                rec.close_to(span_depth)
-            self._kill(vm, process, name, violation.reason)
-            raise AssertionError("unreachable")  # pragma: no cover
+            rec.begin("syscall-verify", "verify")
+        cache = self._authcaches.get(process.pid)
+        jit = self._jits.get(process.pid)
+        result = jit.execute(vm, process, cache) if jit is not None else None
+        if result is None:
+            try:
+                result = self._checker.check(vm, process, cache)
+            except AuthViolation as violation:
+                number = vm.regs[0]
+                name = SYSCALL_NAMES.get(number, f"syscall#{number}")
+                if traced:
+                    # A violation aborts the checker mid-stage;
+                    # rebalance the span stack before the kill unwinds
+                    # the VM.
+                    rec.close_to(span_depth)
+                self._kill(vm, process, name, violation.reason)
+                raise AssertionError("unreachable")  # pragma: no cover
+            if jit is not None:
+                # First full verification of this site (or its thunk
+                # just got voided): specialize it for the next trap.
+                jit.compile_site(vm, process, result, cache)
+        if traced:
+            rec.end()  # syscall-verify
         self.audit.fastpath.hits += result.cache_hits
         self.audit.fastpath.misses += result.cache_misses
         if traced:
@@ -658,8 +700,11 @@ class Kernel:
             self.audit.fastpath.invalidations += dropped
             if self.obs.enabled:
                 self.obs.inc("fastpath.invalidations", dropped)
+        self._drop_jit(process.pid)
         if self.fastpath:
             self._authcaches[process.pid] = VerifiedSiteCache()
+            if self.verifier_jit:
+                self._jits[process.pid] = self._new_jit()
         self._setup_argv(new_vm, argv or [process.name])
         task.vm = new_vm
         raise ImageReplaced(f"execve {path}")
@@ -738,8 +783,12 @@ class Kernel:
         if self.fastpath:
             # A fresh per-pid cache: verified sites never leak across
             # pids, so a cross-process cache-poisoning angle does not
-            # exist by construction (tested).
+            # exist by construction (tested).  Same for thunks — the
+            # child's partition starts empty; a sibling's compiled
+            # verifier is never consulted.
             self._authcaches[child.pid] = VerifiedSiteCache()
+            if self.verifier_jit:
+                self._jits[child.pid] = self._new_jit()
         scheduler.adopt(child, child_vm, parent_pid=parent.pid)
         self.metrics.inc("sched.forks")
         return child.pid

@@ -23,6 +23,9 @@ COUNTER_HELP = {
     "fastpath.hits": "call-MAC checks satisfied by the per-site verification cache",
     "fastpath.misses": "call-MAC checks that paid the full CMAC",
     "fastpath.invalidations": "verified-site cache entries dropped at process exit/exec",
+    "verifier.thunks_compiled": "call sites specialized into pre-bound verifier thunks",
+    "verifier.thunks_invalidated": "verifier thunks dropped by write-version guards or exit/exec",
+    "verifier.thunk_hits": "ASYS traps verified entirely by a compiled thunk",
     "decode.invalidations": "interpreter decode-cache entries dropped by write-version guards",
     "engine.blocks_compiled": "basic blocks translated by the threaded engine",
     "engine.blocks_evicted": "cached translations invalidated by stores or stale guards",

@@ -116,6 +116,7 @@ def _run_under_kernel(args, trace_path: Optional[str] = None):
         fastpath=not args.no_fastpath,
         engine=args.engine,
         chain=not args.no_chain,
+        verifier_jit=not args.no_verifier_jit,
         recorder=recorder,
     )
     for spec in args.file or []:
@@ -216,15 +217,32 @@ def _cmd_attacks(args) -> int:
     from repro.attacks import run_all_attacks, run_cross_process_attacks
 
     # The battery runs under every execution-engine configuration
-    # (interp, threaded with and without block chaining): the verdicts
-    # are a security property and must not depend on how the CPU is
-    # emulated.
-    configs = [("interp", True), ("threaded", True), ("threaded", False)]
+    # (interp, threaded with and without block chaining, threaded with
+    # the verifier JIT disabled): the verdicts are a security property
+    # and must not depend on how the CPU is emulated or how the
+    # verification path is specialized.
+    configs = [
+        ("interp", True, True),
+        ("threaded", True, True),
+        ("threaded", False, True),
+        ("threaded", True, False),
+    ]
+
+    def _label(engine: str, chain: bool, verifier_jit: bool) -> str:
+        label = engine
+        if not chain:
+            label += " (no chain)"
+        if not verifier_jit:
+            label += " (no verifier jit)"
+        return label
+
     failures = 0
-    for engine, chain in configs:
-        results = run_all_attacks(_key_from(args), engine=engine, chain=chain)
+    for engine, chain, verifier_jit in configs:
+        results = run_all_attacks(
+            _key_from(args), engine=engine, chain=chain, verifier_jit=verifier_jit
+        )
         width = max(len(r.name) for r in results)
-        print(f"-- engine: {engine}{'' if chain else ' (no chain)'}")
+        print(f"-- engine: {_label(engine, chain, verifier_jit)}")
         for result in results:
             expected_block = result.name != "frankenstein/undefended"
             status = "BLOCKED" if result.blocked else "succeeded"
@@ -234,12 +252,14 @@ def _cmd_attacks(args) -> int:
                 failures += 1
     # Multiprogramming battery: cross-process attacks under the
     # preemptive scheduler.  Every one of these must be blocked.
-    for engine, chain in configs:
+    for engine, chain, verifier_jit in configs:
         results = run_cross_process_attacks(
-            _key_from(args), engine=engine, chain=chain
+            _key_from(args), engine=engine, chain=chain, verifier_jit=verifier_jit
         )
         width = max(len(r.name) for r in results)
-        print(f"-- engine: {engine}{'' if chain else ' (no chain)'} (cross-process)")
+        print(
+            f"-- engine: {_label(engine, chain, verifier_jit)} (cross-process)"
+        )
         for result in results:
             status = "BLOCKED" if result.blocked else "succeeded"
             marker = "ok" if result.blocked else "UNEXPECTED"
@@ -352,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable direct block chaining and superblock "
                               "fusion in the threaded engine (plain "
                               "per-block dispatch)")
+        cmd.add_argument("--no-verifier-jit", action="store_true",
+                         help="disable per-site verifier specialization "
+                              "(every trap runs the generic staged checker)")
 
     cmd = commands.add_parser("run", help="run under the checking kernel")
     _add_run_arguments(cmd)
