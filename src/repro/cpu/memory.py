@@ -181,6 +181,15 @@ class Memory:
         region.data[offset : offset + len(data)] = data
         region.version += 1
 
+    def flip_bit(self, address: int, bit: int, force: bool = False) -> None:
+        """Flip one bit of the byte at ``address`` (the fault-injection
+        battery's single-event-upset model).  Routed through ``write``
+        so region watchers and the write-version counter fire exactly
+        as they would for any other store — a flipped bit must never be
+        able to sneak past the caches' staleness guards."""
+        value = self.read(address, 1, force)[0]
+        self.write(address, bytes([value ^ (1 << (bit & 7))]), force)
+
     def read_u32(self, address: int, force: bool = False) -> int:
         return struct.unpack("<I", self.read(address, 4, force))[0]
 

@@ -1,0 +1,206 @@
+"""Run one fault plan on one engine configuration and classify it.
+
+Classification compares the faulted run against the clean *reference*
+run of the same workload on the same config:
+
+- **detected** — the kernel fail-stopped the process AND the kill
+  reason's check family is one the fault kind legitimately trips
+  (:data:`~repro.faults.plan.ALLOWED_FAMILIES`).  A kill with a
+  misattributed reason is NOT a detection: it means the checks fired
+  for the wrong cause, which is a coverage bug worth failing on.
+- **benign** — the run is bit-identical to the reference (status,
+  kill state, both output streams, cycles, instructions).  Only legal
+  for faults that may land on dead state and for scheduler
+  perturbations (where it is *required*).
+- **missed** — everything else: a run that diverged without being
+  killed, a must-detect fault that was silently swallowed, a
+  misattributed kill, or a scheduler perturbation that changed any
+  per-process result.  Any miss is a hard failure of the sweep.
+
+Reference signatures double as an engine-equivalence check: the sweep
+asserts the clean signature of every workload is identical across all
+configs before injecting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.binfmt import link
+from repro.cpu.vm import ExecutionFault
+from repro.crypto import Key
+from repro.faults.inject import TrapSpy, make_injector
+from repro.faults.plan import ALLOWED_FAMILIES, SCHED_KINDS, FaultPlan
+from repro.faults.targets import SCHED_INSTANCES, VICTIM_STDIN, make_kernel
+from repro.kernel.auth import violation_family
+from repro.kernel.sched.scheduler import Scheduler
+
+#: Timeslice of the clean scheduled reference run.  Perturbed runs use
+#: the plan's seeded slice; both must produce identical per-task
+#: results.
+REFERENCE_TIMESLICE = 200
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one run produced, reduced to its comparable signature."""
+
+    signature: tuple
+    killed: bool
+    kill_reason: str
+    traps: int = 0
+
+
+def run_workload(
+    key: Key,
+    config,
+    workloads: dict,
+    workload: str,
+    plan: FaultPlan = None,
+    recorder=None,
+) -> RunOutcome:
+    """Execute ``workload`` on a fresh kernel; with a plan, arm its
+    injector.  ``plan=None`` is the clean reference run."""
+    if workload == "loop-sched":
+        return _run_scheduled(key, config, workloads, plan, recorder)
+    return _run_single(key, config, workloads, workload, plan, recorder)
+
+
+def _run_single(
+    key: Key, config, workloads, workload, plan, recorder
+) -> RunOutcome:
+    installed = workloads[workload]
+    kernel = make_kernel(key, config, recorder=recorder)
+    stdin = VICTIM_STDIN if workload == "victim" else b""
+    process, vm = kernel.load(installed.binary, stdin=stdin)
+    injector = None
+    if plan is not None:
+        injector = make_injector(plan, _image_of(installed))
+    spy = TrapSpy(
+        kernel,
+        trap_index=plan.trap_index if plan is not None else -1,
+        injector=injector,
+    )
+    vm.trap_handler = spy
+    crash = ""
+    try:
+        status = vm.run()
+    except ExecutionFault as fault:
+        # The injected fault drove the *guest* into a machine fault
+        # (e.g. a corrupted value steered a later load).  That is a
+        # divergence the checks did not convert into an authenticated
+        # kill — record it so classification can flag the miss instead
+        # of aborting the whole sweep.
+        status = -1
+        crash = f"guest crash: {fault}"
+    finally:
+        kernel.release_process(process, vm)
+    signature = _signature(
+        status, crash, vm.killed, vm.kill_reason,
+        bytes(process.stdout), bytes(process.stderr),
+        vm.cycles, vm.instructions_executed,
+    )
+    return RunOutcome(
+        signature=signature,
+        killed=vm.killed,
+        kill_reason=vm.kill_reason,
+        traps=spy.seen,
+    )
+
+
+def _signature(
+    status, crash, killed, kill_reason, stdout, stderr, cycles, instructions
+) -> tuple:
+    """One process's comparable result.  A fixed 8-slot layout shared by
+    the single-run and per-task scheduled signatures; ``_CYCLES_SLOT``
+    is the entry :func:`portable_signature` strips."""
+    return (status, crash, killed, kill_reason, stdout, stderr, cycles,
+            instructions)
+
+
+_CYCLES_SLOT = 6
+
+
+#: id(InstalledProgram) -> LoadedImage.  Injectors only need symbol and
+#: section addresses, which are identical for every link of the same
+#: binary — link once per workload object, not once per run.  (The
+#: kernel still links its own image per process.)
+_IMAGES: dict = {}
+
+
+def _image_of(installed):
+    image = _IMAGES.get(id(installed))
+    if image is None:
+        image = _IMAGES[id(installed)] = link(installed.binary)
+    return image
+
+
+def _run_scheduled(key, config, workloads, plan, recorder) -> RunOutcome:
+    """The multiprogrammed workload: independent loop instances whose
+    per-task results must be invariant under any preemption order."""
+    installed = workloads["loop"]
+    kernel = make_kernel(key, config, recorder=recorder)
+    timeslice = plan.timeslice if plan is not None else REFERENCE_TIMESLICE
+    scheduler = Scheduler(kernel, timeslice=timeslice)
+    tasks = [
+        scheduler.adopt(*kernel.load(installed.binary))
+        for _ in range(SCHED_INSTANCES)
+    ]
+    if plan is not None and plan.rotate_every:
+        switches = [0]
+
+        def perturb(sched, task):
+            switches[0] += 1
+            if switches[0] % plan.rotate_every == 0:
+                sched.perturb_runq(1)
+
+        scheduler.on_switch = perturb
+    scheduler.run()
+    per_task = tuple(
+        _signature(
+            task.exit_status, "", task.killed, task.kill_reason,
+            bytes(task.process.stdout), bytes(task.process.stderr),
+            task.vm.cycles, task.vm.instructions_executed,
+        )
+        for task in tasks
+    )
+    killed = any(task.killed for task in tasks)
+    reasons = "; ".join(task.kill_reason for task in tasks if task.killed)
+    return RunOutcome(signature=per_task, killed=killed, kill_reason=reasons)
+
+
+def portable_signature(outcome: RunOutcome) -> tuple:
+    """The signature with cycle counts dropped.
+
+    Cycles are *config*-dependent by design — disabling the fast path
+    restores the full per-trap CMAC cost the paper measured — so the
+    cross-config engine-equivalence assertion compares everything
+    except them.  Within one config, cycles stay in the signature:
+    benign means bit-identical including cost."""
+    def strip(entry):
+        return entry[:_CYCLES_SLOT] + entry[_CYCLES_SLOT + 1:]
+
+    signature = outcome.signature
+    if signature and isinstance(signature[0], tuple):  # scheduled: per-task
+        return tuple(strip(entry) for entry in signature)
+    return strip(signature)
+
+
+def classify(plan: FaultPlan, reference: RunOutcome, outcome: RunOutcome) -> str:
+    """Map one faulted run to detected / benign / missed (see module
+    docstring)."""
+    identical = outcome.signature == reference.signature
+    if plan.expected == "benign":
+        return "benign" if identical and not outcome.killed else "missed"
+    if outcome.killed:
+        family = violation_family(outcome.kill_reason)
+        if family in ALLOWED_FAMILIES[plan.kind]:
+            return "detected"
+        return "missed"  # misattributed kill
+    if plan.expected == "any" and identical:
+        return "benign"
+    return "missed"
+
+
+def is_sched_plan(plan: FaultPlan) -> bool:
+    return plan.kind in SCHED_KINDS

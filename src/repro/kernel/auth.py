@@ -58,6 +58,48 @@ class AuthViolation(Exception):
         self.reason = reason
 
 
+#: Reason-string families for §3.4 violations, keyed by which check
+#: tripped.  The fault-injection battery uses this to assert not just
+#: *that* a corrupted run was killed but that the kill was correctly
+#: attributed (a counter desync must die as a policy-state mismatch,
+#: not as some accidental downstream fault).  Substring matching keeps
+#: the reasons themselves free to carry per-site detail.
+VIOLATION_FAMILIES: dict[str, tuple[str, ...]] = {
+    "record": (
+        "unreadable auth record",
+        "bad pointer in authenticated call",
+    ),
+    "call-mac": ("call MAC mismatch", "unauthenticatable syscall number"),
+    "string-auth": ("failed integrity check",),
+    "policy-state": (
+        "policy state MAC mismatch",
+        "unreadable policy state",
+        "unwritable policy state",
+    ),
+    "control-flow": ("control flow violation",),
+    "pattern": (
+        "does not match pattern",
+        "undecodable pattern",
+        "unreadable pattern argument",
+        "hint block",
+    ),
+    "capability": ("capability violation",),
+    "unauthenticated": (
+        "unauthenticated system call",
+        "unauthenticated binary",
+    ),
+}
+
+
+def violation_family(reason: str) -> Optional[str]:
+    """Classify a kill reason into its §3.4 check family (or None for
+    reasons that did not come from the authenticated-call checker)."""
+    for family, needles in VIOLATION_FAMILIES.items():
+        if any(needle in reason for needle in needles):
+            return family
+    return None
+
+
 @dataclass
 class CheckResult:
     """Outcome of a successful check."""
@@ -118,6 +160,17 @@ class AuthChecker:
         blocks = 0
         memory = vm.memory
         syscall_number = vm.regs[0]
+        # The encoded call packs the number in 16 bits, so a trapped
+        # value with high bits set could never have been MAC'd — yet
+        # truncation would make it *verify* (and then dispatch on the
+        # unauthenticated full value).  Out-of-domain numbers are
+        # therefore proof of tampering in their own right; the fault
+        # battery's register-tamper faults exercise exactly this.
+        if syscall_number > 0xFFFF:
+            raise AuthViolation(
+                f"unauthenticatable syscall number {syscall_number:#x} "
+                f"(exceeds the 16-bit encoded domain)"
+            )
         call_site = vm.pc
         record_ptr = vm.regs[7]
         read_as = cache.read_as if cache is not None else read_authenticated_string

@@ -170,6 +170,16 @@ class Scheduler:
         process, vm = self.kernel.load(binary, argv=argv, stdin=stdin, cwd=cwd)
         return self.adopt(process, vm)
 
+    def perturb_runq(self, rotation: int = 1) -> None:
+        """Deterministically rotate the run queue.
+
+        The fault-injection battery's scheduler-perturbation faults use
+        this (from an ``on_switch`` hook) to force different preemption
+        orders: per-process results must be invariant under *any*
+        run-queue order, so a rotation that changes an outcome is a
+        detection-coverage failure, not a scheduling choice."""
+        self._runq.rotate(rotation)
+
     # -- queries used by the kernel/syscall layer ----------------------
 
     def find_zombie(self, parent_pid: int, pid_spec: int):

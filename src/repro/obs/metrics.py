@@ -45,6 +45,10 @@ COUNTER_HELP = {
     "sched.signal_kills": "processes terminated by a cross-process signal",
     "sched.deadlock_kills": "blocked processes fail-stopped by the deadlock breaker",
     "sched.runq_peak": "largest observed run-queue length",
+    "faults.injected": "seeded fault runs executed by the injection sweep",
+    "faults.detected": "injected faults killed with a correctly attributed violation",
+    "faults.benign": "injected faults that landed on dead state (run bit-identical)",
+    "faults.missed": "injected faults that diverged undetected (hard failure)",
 }
 
 

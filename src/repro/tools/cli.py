@@ -303,6 +303,28 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import run_sweep
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    report = run_sweep(
+        key=_key_from(args),
+        seed=args.seed,
+        count=args.count,
+        config_names=args.config or None,
+        kinds=args.kind or None,
+        metrics=metrics,
+    )
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"coverage report written to {args.json}", file=sys.stderr)
+    if args.metrics:
+        Path(args.metrics).write_text(metrics.render_prometheus())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools",
@@ -404,6 +426,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("attacks", help="run the attack battery")
     cmd.set_defaults(handler=_cmd_attacks)
+
+    cmd = commands.add_parser(
+        "faults",
+        help="run the seeded fault-injection coverage sweep",
+    )
+    cmd.add_argument(
+        "--seed", type=int, default=20050926,
+        help="sweep seed (same seed + key -> byte-identical report)",
+    )
+    cmd.add_argument(
+        "--count", type=int, default=200,
+        help="number of fault plans (each runs on every selected config)",
+    )
+    cmd.add_argument(
+        "--config", action="append", metavar="NAME",
+        help="engine config to sweep (repeatable; default: all five)",
+    )
+    cmd.add_argument(
+        "--kind", action="append", metavar="KIND",
+        help="fault kind to inject (repeatable; default: all)",
+    )
+    cmd.add_argument(
+        "--json", metavar="OUT.json",
+        help="write the machine-readable coverage report here",
+    )
+    cmd.add_argument(
+        "--metrics", metavar="OUT.prom",
+        help="write faults.* counters (Prometheus exposition format)",
+    )
+    cmd.set_defaults(handler=_cmd_faults)
 
     cmd = commands.add_parser(
         "report", help="print archived benchmark reports in paper order"
