@@ -1,0 +1,129 @@
+"""CI perf-regression gate for the netserver throughput trajectory.
+
+The networking sibling of ``check_wallclock_regression.py``: compares
+a freshly measured ``BENCH_net.json`` against the last *committed*
+baseline and fails when an engine column's requests/second (auth on)
+drops below ``threshold`` (default 0.7) times the baseline.  The CI
+job snapshots the committed file before the bench overwrites it::
+
+    cp BENCH_net.json /tmp/net-baseline.json
+    REPRO_BENCH_SCALE=0.2 ... pytest benchmarks/bench_net.py ...
+    python benchmarks/check_net_regression.py \
+        --baseline /tmp/net-baseline.json --current BENCH_net.json
+
+One host-invariant ratio gate rides along, from the CURRENT
+measurement only: the chained threaded engine must complete at least
+``--chained-gate`` (default 3.0) times the interpreter's req/s on the
+auth-on netserver.  The ratio holds at smoke scale too — the workload
+is compute-bound per request — so CI enforces it on every push, not
+just full-scale runs.
+
+Like the wall-clock gate, 0.7x is a coarse tripwire for catastrophic
+regressions (socket paths accidentally serialized, blocking turned
+into spinning, chaining broken across trap boundaries), not a
+precision benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.7
+DEFAULT_CHAINED_GATE = 3.0
+
+#: Engine columns gated against the committed baseline (auth on — the
+#: protected server is the configuration whose speed the repo tracks).
+GATED_COLUMNS = ("interp", "threaded_chained")
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Auth-on req/s, current vs committed baseline, per engine."""
+    failures = []
+    base_entry = baseline.get("netserver", {}).get("auth_on", {})
+    curr_entry = current.get("netserver", {}).get("auth_on", {})
+    for column in GATED_COLUMNS:
+        base_col = base_entry.get(column)
+        curr_col = curr_entry.get(column)
+        if base_col is None or curr_col is None:
+            print(f"netserver {column}: not in "
+                  f"{'baseline' if base_col is None else 'current'} "
+                  "[skipped]")
+            continue
+        base_rps = base_col["requests_per_second"]
+        curr_rps = curr_col["requests_per_second"]
+        ratio = curr_rps / base_rps if base_rps else float("inf")
+        status = "ok" if ratio >= threshold else "REGRESSION"
+        print(
+            f"netserver {column:17s} baseline={base_rps:>10,.1f} req/s  "
+            f"current={curr_rps:>10,.1f} req/s  ratio={ratio:.2f}x  "
+            f"[{status}]"
+        )
+        if ratio < threshold:
+            failures.append(
+                f"netserver column '{column}': auth-on req/s fell to "
+                f"{ratio:.2f}x of the committed baseline "
+                f"({curr_rps:,.1f} vs {base_rps:,.1f}; gate: {threshold}x)"
+            )
+    return failures
+
+
+def check_chained_gate(current: dict, gate: float) -> list[str]:
+    """Within the CURRENT measurement: chained vs interp req/s, auth on."""
+    failures = []
+    entry = current.get("netserver", {}).get("auth_on", {})
+    interp = entry.get("interp")
+    chained = entry.get("threaded_chained")
+    if not interp or not chained:
+        print("netserver chained gate: not measured [skipped]")
+        return failures
+    interp_rps = interp["requests_per_second"]
+    chained_rps = chained["requests_per_second"]
+    ratio = chained_rps / interp_rps if interp_rps else float("inf")
+    status = "ok" if ratio >= gate else "REGRESSION"
+    print(
+        f"netserver chained/interp  interp={interp_rps:>10,.1f} req/s  "
+        f"chained={chained_rps:>10,.1f} req/s  ratio={ratio:.2f}x  "
+        f"[{status}]"
+    )
+    if ratio < gate:
+        failures.append(
+            f"netserver: chained engine completes only {ratio:.2f}x the "
+            f"interpreter's auth-on req/s ({chained_rps:,.1f} vs "
+            f"{interp_rps:,.1f}; gate: {gate}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_net.json snapshot")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_net.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="minimum current/baseline req-per-sec ratio "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--chained-gate", type=float,
+                        default=DEFAULT_CHAINED_GATE,
+                        help="minimum chained/interp req-per-sec ratio "
+                             "within the current measurement "
+                             f"(default {DEFAULT_CHAINED_GATE}; 0 disables)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    failures = compare(baseline, current, args.threshold)
+    if args.chained_gate > 0:
+        failures += check_chained_gate(current, args.chained_gate)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

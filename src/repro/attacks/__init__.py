@@ -26,6 +26,11 @@ program; :mod:`repro.attacks.scenarios` mounts the attacks:
 cross-process lastBlock/lbMAC replay, counter confusion after fork,
 and pipe-fed argument tampering — exercising the per-process
 authentication context under the preemptive scheduler.
+
+:mod:`repro.attacks.netattacks` adds the networking battery against
+the loopback socket stack's echo server — accept-era polstate replay,
+client→server polstate reuse, and a tampered send buffer pointer at a
+warm pre-verified site.
 """
 
 from repro.attacks.victim import build_victim, build_frankenstein_pair
@@ -44,9 +49,16 @@ from repro.attacks.crossproc import (
     pipe_fed_tamper_attack,
     run_cross_process_attacks,
 )
+from repro.attacks.netattacks import (
+    accept_replay_attack,
+    run_net_attacks,
+    socket_state_reuse_attack,
+    tampered_send_attack,
+)
 
 __all__ = [
     "AttackResult",
+    "accept_replay_attack",
     "build_frankenstein_pair",
     "build_victim",
     "cross_process_replay_attack",
@@ -58,5 +70,8 @@ __all__ = [
     "replay_attack",
     "run_all_attacks",
     "run_cross_process_attacks",
+    "run_net_attacks",
     "shellcode_attack",
+    "socket_state_reuse_attack",
+    "tampered_send_attack",
 ]

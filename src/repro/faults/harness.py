@@ -34,6 +34,7 @@ from repro.faults.plan import ALLOWED_FAMILIES, SCHED_KINDS, FaultPlan
 from repro.faults.targets import SCHED_INSTANCES, VICTIM_STDIN, make_kernel
 from repro.kernel.auth import violation_family
 from repro.kernel.sched.scheduler import Scheduler
+from repro.kernel.syscalls import SYSCALL_NUMBERS
 
 #: Timeslice of the clean scheduled reference run.  Perturbed runs use
 #: the plan's seeded slice; both must produce identical per-task
@@ -63,6 +64,8 @@ def run_workload(
     injector.  ``plan=None`` is the clean reference run."""
     if workload == "loop-sched":
         return _run_scheduled(key, config, workloads, plan, recorder)
+    if workload == "netserver":
+        return _run_netserver(key, config, workloads, plan, recorder)
     return _run_single(key, config, workloads, workload, plan, recorder)
 
 
@@ -167,6 +170,50 @@ def _run_scheduled(key, config, workloads, plan, recorder) -> RunOutcome:
     killed = any(task.killed for task in tasks)
     reasons = "; ".join(task.kill_reason for task in tasks if task.killed)
     return RunOutcome(signature=per_task, killed=killed, kill_reason=reasons)
+
+
+#: The socket data-transfer calls the netserver spy counts: plans for
+#: the sock kinds index into *these* traps only, so every seeded index
+#: lands on a send/recv with an Immediate-constrained buffer pointer.
+_SOCK_DATA_CALLS = frozenset(
+    (SYSCALL_NUMBERS["send"], SYSCALL_NUMBERS["recv"])
+)
+
+
+def _run_netserver(key, config, workloads, plan, recorder) -> RunOutcome:
+    """The networking workload: the echo server and its forked clients
+    under the scheduler, with the spy shadowing the kernel's trap
+    handler so it sees every process's traps (``vm.trap_handler`` only
+    covers the first VM; forked children get fresh ones)."""
+    installed = workloads["netserver"]
+    kernel = make_kernel(key, config, recorder=recorder)
+    injector = None
+    if plan is not None:
+        injector = make_injector(plan, _image_of(installed))
+    spy = TrapSpy(
+        kernel,
+        trap_index=plan.trap_index if plan is not None else -1,
+        injector=injector,
+        numbers=_SOCK_DATA_CALLS,
+    )
+    kernel.handle_trap = spy.handle_trap  # shadow: covers forked clients
+    scheduler = Scheduler(kernel, timeslice=REFERENCE_TIMESLICE)
+    scheduler.adopt(*kernel.load(installed.binary))
+    scheduler.run()
+    tasks = [scheduler.tasks[pid] for pid in sorted(scheduler.tasks)]
+    per_task = tuple(
+        _signature(
+            task.exit_status, "", task.killed, task.kill_reason,
+            bytes(task.process.stdout), bytes(task.process.stderr),
+            task.vm.cycles, task.vm.instructions_executed,
+        )
+        for task in tasks
+    )
+    killed = any(task.killed for task in tasks)
+    reasons = "; ".join(task.kill_reason for task in tasks if task.killed)
+    return RunOutcome(
+        signature=per_task, killed=killed, kill_reason=reasons, traps=spy.seen
+    )
 
 
 def portable_signature(outcome: RunOutcome) -> tuple:

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.cpu.vm import VM
 from repro.crypto import MAC_SIZE
+from repro.kernel.syscalls import SYSCALL_NUMBERS
 from repro.faults.plan import FaultPlan
 from repro.policy.authstrings import AS_HEADER_SIZE
 from repro.policy.record import CORE_SIZE, read_auth_record
@@ -33,22 +34,37 @@ class TrapSpy:
     """Counts authenticated traps, firing the armed injector right
     before the Nth one is serviced.  With no injector it is a pure
     trap counter (the reference runs use it that way, so the traced
-    path is byte-for-byte the same in clean and faulted runs)."""
+    path is byte-for-byte the same in clean and faulted runs).
+
+    ``numbers`` restricts counting (and firing) to traps whose syscall
+    number is in the set — the socket kinds use it to index into the
+    netserver's send/recv traps only.
+
+    The spy forwards to the kernel's trap handler *as captured at
+    construction*, so it can either be installed on one VM
+    (``vm.trap_handler = spy``) or shadow the kernel's bound method
+    (``kernel.handle_trap = spy.handle_trap``); the latter covers every
+    VM in a multiprogrammed run, forked children included."""
 
     def __init__(
         self,
         kernel,
         trap_index: int = -1,
         injector: Optional[Callable[[VM], None]] = None,
+        numbers: Optional[frozenset] = None,
     ):
         self.kernel = kernel
         self.trap_index = trap_index
         self.injector = injector
+        self.numbers = numbers
         self.seen = 0
         self.fired = False
+        self._forward = kernel.handle_trap
 
     def handle_trap(self, vm: VM, authenticated: bool) -> int:
-        if authenticated:
+        if authenticated and (
+            self.numbers is None or vm.regs[0] in self.numbers
+        ):
             if (
                 self.injector is not None
                 and not self.fired
@@ -57,7 +73,7 @@ class TrapSpy:
                 self.fired = True
                 self.injector(vm)
             self.seen += 1
-        return self.kernel.handle_trap(vm, authenticated)
+        return self._forward(vm, authenticated)
 
 
 def make_injector(plan: FaultPlan, image) -> Callable[[VM], None]:
@@ -172,6 +188,26 @@ def _build_reg_tamper(plan: FaultPlan, image) -> Callable[[VM], None]:
     return inject
 
 
+def _build_sock_reg_tamper(plan: FaultPlan, image) -> Callable[[VM], None]:
+    """One bit in a constrained data-transfer register of an
+    authenticated ``send``/``recv`` at trap entry: the buffer pointer
+    (r2) for ``send``, the length (r3) for ``recv`` — a recv buffer is
+    an *output* parameter, unconstrained by design, so its pointer is
+    not policy material.  The netserver passes both as ``li`` constants
+    (Immediate constraints in the signed record), so the flip must die
+    as a call-MAC mismatch in whichever process (server or client)
+    trapped."""
+    send_number = SYSCALL_NUMBERS["send"]
+
+    def inject(vm: VM) -> None:
+        register = 2 if vm.regs[0] == send_number else 3
+        vm.regs[register] = (
+            vm.regs[register] ^ (1 << (plan.bit % 32))
+        ) & 0xFFFFFFFF
+
+    return inject
+
+
 # -- policy-state desync ----------------------------------------------------
 
 
@@ -212,6 +248,7 @@ _BUILDERS = {
     "as-flip": _build_as_flip,
     "mac-transplant": _build_mac_transplant,
     "reg-tamper": _build_reg_tamper,
+    "sock-reg-tamper": _build_sock_reg_tamper,
     "counter-desync": _build_counter_desync,
     "lastblock-flip": _build_lastblock_flip,
 }

@@ -41,6 +41,7 @@ KINDS = (
     "as-flip",          # bit in the live trap's AS material (mac/len/content)
     "mac-transplant",   # replace the live callMAC with another site's
     "reg-tamper",       # bit in a constrained register at trap time
+    "sock-reg-tamper",  # bit in a send ptr / recv length (netserver)
     "prewarm-flip",     # post-warm-up bit in a pre-verified span
     "counter-desync",   # bump the kernel's per-process auth counter
     "lastblock-flip",   # bit in the .polstate lastBlock/lbMAC cell
@@ -55,6 +56,7 @@ EXPECTATIONS = {
     "as-flip": "detected",
     "mac-transplant": "detected",
     "reg-tamper": "detected",
+    "sock-reg-tamper": "detected",
     "prewarm-flip": "any",
     "counter-desync": "detected",
     "lastblock-flip": "detected",
@@ -80,6 +82,10 @@ ALLOWED_FAMILIES = {
     "as-flip": {"call-mac", "string-auth", "record"},
     "mac-transplant": {"call-mac"},
     "reg-tamper": {"call-mac", "record", "string-auth", "pattern"},
+    # Every netserver send passes its buffer pointer — and every recv
+    # its length — as an li constant, so the flip always violates an
+    # Immediate constraint.
+    "sock-reg-tamper": {"call-mac"},
     "prewarm-flip": {
         "record", "call-mac", "string-auth", "policy-state",
         "control-flow", "pattern",
@@ -92,6 +98,9 @@ ALLOWED_FAMILIES = {
 
 #: Kinds that run the multiprogrammed workload under the scheduler.
 SCHED_KINDS = ("sched-jitter", "sched-preempt")
+
+#: Kinds that run the netserver workload (scheduler + loopback sockets).
+NET_KINDS = ("sock-reg-tamper",)
 
 #: Traps to let pass before a prewarm flip, so every loop-workload site
 #: has been fully verified at least once (authcache entries stored,
@@ -219,6 +228,8 @@ def _trap_plan(
 ) -> FaultPlan:
     if kind == "prewarm-flip":
         workload = "loop"  # needs repeated traps per site to warm up
+    elif kind in NET_KINDS:
+        workload = "netserver"  # sockets + scheduler; forked clients
     else:
         # Mostly the loop workload (warm sites, many traps); the victim
         # adds string-argument material and an execve site.

@@ -33,7 +33,11 @@ OUTCOMES = ("detected", "benign", "missed")
 
 #: Workloads whose clean runs seed the sweep (trap counts + the
 #: engine-equivalence assertion).
-_WORKLOADS = ("loop", "victim", "loop-sched")
+_WORKLOADS = ("loop", "victim", "loop-sched", "netserver")
+
+#: Workloads whose clean trap count bounds seeded trap indices.  For
+#: netserver the count is send/recv traps only (the spy filters).
+_TRAP_WORKLOADS = ("loop", "victim", "netserver")
 
 
 @dataclass
@@ -137,7 +141,7 @@ def run_sweep(
                     f"engine-equivalence violation: clean {workload} run "
                     f"differs between {configs[0].name} and {config.name}"
                 )
-            if workload in ("loop", "victim"):
+            if workload in _TRAP_WORKLOADS:
                 traps_by_workload[workload] = outcome.traps
 
     plans = generate_plans(

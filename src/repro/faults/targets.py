@@ -16,6 +16,10 @@ authenticated material:
   per-process result is interleaving-invariant by construction, so any
   divergence under timeslice jitter or run-queue rotation is a real
   determinism bug.
+- ``netserver`` — the loopback-socket echo server with forked clients
+  (see :mod:`repro.workloads.netserver`), scaled down for sweep speed.
+  Its send/recv sites pass buffer pointers as Immediate constraints,
+  which is what the ``sock-reg-tamper`` kind corrupts at trap entry.
 
 Workloads are installed once per sweep with the sweep key and replayed
 on every engine configuration.
@@ -30,6 +34,7 @@ from repro.binfmt import SefBinary, link
 from repro.crypto import Key
 from repro.installer import InstalledProgram, InstallerOptions, install
 from repro.kernel import EnforcementMode, Kernel
+from repro.workloads.netserver import build_netserver
 from repro.workloads.runtime import runtime_source
 
 #: The iterative workload's trip count.  Six trips × three traps per
@@ -43,6 +48,13 @@ VICTIM_STDIN = b"/etc/motd\x00"
 
 #: How many ``loop`` instances the scheduled workload runs.
 SCHED_INSTANCES = 3
+
+#: Netserver shape for the sweep: two clients × three requests gives
+#: ~28 authenticated send/recv traps — enough spread for seeded trap
+#: indices while keeping hundreds of scheduled runs fast.
+NETSERVER_CLIENTS = 2
+NETSERVER_REQUESTS = 3
+NETSERVER_SPIN = 40
 
 #: Sections whose spans the record-flip / prewarm-flip kinds target.
 FLIP_SECTIONS = (".authdata", ".authstr")
@@ -92,6 +104,15 @@ def build_workloads(key: Key) -> dict[str, InstalledProgram]:
     return {
         "loop": install(build_loop(), key, InstallerOptions()),
         "victim": install(build_victim(), key, InstallerOptions()),
+        "netserver": install(
+            build_netserver(
+                clients=NETSERVER_CLIENTS,
+                requests=NETSERVER_REQUESTS,
+                spin=NETSERVER_SPIN,
+            ),
+            key,
+            InstallerOptions(),
+        ),
     }
 
 

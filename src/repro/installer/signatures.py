@@ -122,6 +122,18 @@ SIGNATURES: dict[str, SyscallSignature] = {
         _sig("munlock", 2),
         _sig("readv", 3, outputs=(1,), fd_args=(0,)),
         _sig("spawn", 2, string_args=(0,)),
+        # Loopback networking (kernel/net/).  Addresses are NUL-terminated
+        # strings, so constant bind/connect targets become authenticated
+        # string parameters — the name a server listens on (and the name
+        # a client dials) is part of the signed per-site policy.
+        _sig("bind", 3, fd_args=(0,), string_args=(1,)),
+        _sig("listen", 2, fd_args=(0,)),
+        _sig("accept", 3, outputs=(1, 2), fd_args=(0,)),
+        _sig("connect", 3, fd_args=(0,), string_args=(1,)),
+        _sig("send", 4, fd_args=(0,)),
+        _sig("recv", 4, outputs=(1,), fd_args=(0,)),
+        _sig("recvfrom", 6, outputs=(1, 4, 5), fd_args=(0,)),
+        _sig("shutdown", 2, fd_args=(0,)),
     ]
 }
 

@@ -35,6 +35,17 @@ class Errno(IntEnum):
     ENOTEMPTY = 39
     ELOOP = 40
     ENAMETOOLONG = 36
+    ENOTSOCK = 88
+    EDESTADDRREQ = 89
+    EPROTONOSUPPORT = 93
+    EOPNOTSUPP = 95
+    EAFNOSUPPORT = 97
+    EADDRINUSE = 98
+    ENETDOWN = 100
+    ECONNRESET = 104
+    EISCONN = 106
+    ENOTCONN = 107
+    ECONNREFUSED = 111
 
     def as_result(self) -> int:
         """The value a failing syscall places in ``r0`` (two's complement)."""

@@ -28,6 +28,7 @@ from repro.kernel.audit import AuditEvent, AuditLog, FastPathStats
 from repro.kernel.auth import AuthChecker, AuthViolation
 from repro.kernel.authcache import VerifiedSiteCache
 from repro.kernel.costs import CostModel
+from repro.kernel.net import NetStack
 from repro.kernel.process import Process
 from repro.kernel.sched.blocking import ImageReplaced, ProcessBlocked, WouldBlock
 from repro.kernel.sched.scheduler import MultiRunResult, Scheduler, Task
@@ -159,6 +160,10 @@ class Kernel:
         #: everything else runs with the original synchronous semantics.
         self._scheduler: Optional[Scheduler] = None
         self._next_pipe_ident = 0
+        #: Loopback network state (port table, connection idents); see
+        #: kernel/net/.  Deterministic: idents are a plain counter and
+        #: all queues are FIFO.
+        self.net = NetStack(metrics=self.metrics)
 
     # -- loading ----------------------------------------------------------
 

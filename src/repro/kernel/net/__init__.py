@@ -1,0 +1,40 @@
+"""Deterministic in-kernel loopback networking.
+
+See :mod:`repro.kernel.net.socket` for the socket/connection model and
+DESIGN.md "Networking" for the blocking/readiness semantics and the
+determinism argument.
+"""
+
+from .socket import (
+    AF_INET,
+    AF_UNIX,
+    SHUT_RD,
+    SHUT_RDWR,
+    SHUT_WR,
+    SOCK_CAPACITY,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    Connection,
+    ConnectionReset,
+    ListenQueue,
+    NetStack,
+    SendOnShutdown,
+    Socket,
+)
+
+__all__ = [
+    "AF_INET",
+    "AF_UNIX",
+    "SHUT_RD",
+    "SHUT_RDWR",
+    "SHUT_WR",
+    "SOCK_CAPACITY",
+    "SOCK_DGRAM",
+    "SOCK_STREAM",
+    "Connection",
+    "ConnectionReset",
+    "ListenQueue",
+    "NetStack",
+    "SendOnShutdown",
+    "Socket",
+]

@@ -32,6 +32,10 @@ class FileDescription:
     #: Kernel pipe object for kind == "pipe"; endpoint refcounts drive
     #: writer-close EOF and reader-close EPIPE.
     pipe: Optional["Pipe"] = None  # noqa: F821 - sched.pipe, no import cycle
+    #: Kernel socket object for kind == "socket"; refcounted like pipe
+    #: endpoints so the peer's EOF/EPIPE-analog accounting stays exact
+    #: across dup/fork (the POSIX open-file-description model).
+    sock: Optional["Socket"] = None  # noqa: F821 - net.socket, no import cycle
 
     @property
     def readable(self) -> bool:
@@ -43,9 +47,11 @@ class FileDescription:
 
     def dup(self) -> "FileDescription":
         """Duplicate for dup/dup2/fcntl(F_DUPFD)/fork, retaining the
-        pipe endpoint so EOF/EPIPE accounting stays exact."""
+        pipe/socket endpoint so EOF/EPIPE accounting stays exact."""
         if self.pipe is not None:
             self.pipe.retain(self.writable)
+        if self.sock is not None:
+            self.sock.retain()
         return FileDescription(
             inode=self.inode,
             flags=self.flags,
@@ -53,12 +59,15 @@ class FileDescription:
             path=self.path,
             kind=self.kind,
             pipe=self.pipe,
+            sock=self.sock,
         )
 
     def release(self) -> None:
         """Drop this description's claim on shared kernel objects."""
         if self.pipe is not None:
             self.pipe.release(self.writable)
+        if self.sock is not None:
+            self.sock.release()
 
 
 @dataclass

@@ -29,6 +29,16 @@ from repro.kernel.process import (
     FileDescription,
     Process,
 )
+from repro.kernel.net import (
+    AF_INET,
+    AF_UNIX,
+    SHUT_RD,
+    SHUT_RDWR,
+    SHUT_WR,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    SendOnShutdown,
+)
 from repro.kernel.sched.blocking import WouldBlock
 from repro.kernel.sched.pipe import BrokenPipe, Pipe
 from repro.kernel.vfs import VfsError
@@ -121,6 +131,18 @@ SYSCALL_NUMBERS: dict[str, int] = {
     "munlock": 151,
     "readv": 145,
     "spawn": 400,
+    # Loopback networking (kernel/net/).  Stable numbers of our own in
+    # the 4xx space: the Linux i386 table multiplexes these behind
+    # socketcall(102), which the paper's per-site policies could not
+    # distinguish — separate numbers give each call its own policy row.
+    "bind": 401,
+    "listen": 402,
+    "accept": 403,
+    "connect": 404,
+    "send": 405,
+    "recv": 406,
+    "recvfrom": 407,
+    "shutdown": 408,
 }
 
 SYSCALL_NAMES: dict[int, str] = {num: name for name, num in SYSCALL_NUMBERS.items()}
@@ -370,7 +392,17 @@ def _read(ctx: SyscallContext) -> int:
         ]
         ctx.process.stdin_offset += len(data)
     elif description.kind == "socket":
-        data = b""
+        sock = description.sock
+        if sock is not None and sock.conn is not None:
+            data = sock.conn.recv(sock.side, count, _sock_blocking(ctx))
+        elif (
+            sock is not None
+            and sock.type == SOCK_DGRAM
+            and sock.address is not None
+        ):
+            _, data = ctx.kernel.net.recv_dgram(sock, count, _sock_blocking(ctx))
+        else:
+            data = b""  # unconnected legacy sink: immediate EOF
     elif description.kind == "pipe":
         assert description.pipe is not None
         if count == 0:
@@ -409,6 +441,9 @@ def _do_write(ctx: SyscallContext, fd: int, data: bytes) -> int:
         target = ctx.process.stdout if fd != 2 else ctx.process.stderr
         target.extend(data)
     elif description.kind == "socket":
+        sock = description.sock
+        if sock is not None and sock.conn is not None:
+            return _conn_send(ctx, sock, data)
         ctx.process.network.append(data)
     elif description.kind == "pipe":
         assert description.pipe is not None
@@ -614,10 +649,20 @@ def _stat(ctx: SyscallContext) -> int:
 
 @syscall("fstat")
 def _fstat(ctx: SyscallContext) -> int:
+    from repro.kernel.vfs import S_IFCHR, S_IFIFO, S_IFSOCK
+
     description = ctx.process.fd(ctx.args[0])
     if description.inode is None:
-        # Synthesize a character-device-ish stat for consoles/sockets.
-        ctx.write_buffer(ctx.args[1], struct.pack("<IIIIIIII", 1, 0o020666, 0, 1, 0, 0, 0, 0))
+        # Synthesize a stat for inode-less descriptors with an honest
+        # file type: S_IFSOCK for sockets, S_IFIFO for kernel pipes,
+        # and the historical character device for consoles.
+        if description.kind == "socket":
+            mode = S_IFSOCK | 0o666
+        elif description.kind == "pipe":
+            mode = S_IFIFO | 0o600
+        else:
+            mode = S_IFCHR | 0o666
+        ctx.write_buffer(ctx.args[1], struct.pack("<IIIIIIII", 1, mode, 0, 1, 0, 0, 0, 0))
         return 0
     ctx.write_buffer(ctx.args[1], _pack_stat(description.inode))
     return 0
@@ -728,17 +773,166 @@ def _madvise(ctx: SyscallContext) -> int:
 
 
 # ---------------------------------------------------------------------------
-# sockets (minimal: enough for sendto in the policy tables)
+# sockets (kernel/net/: deterministic loopback stream + datagram stack)
 # ---------------------------------------------------------------------------
+
+#: socket() protocol numbers accepted per type (0 = default).
+_STREAM_PROTOCOLS = (0, 6)  # IPPROTO_TCP
+_DGRAM_PROTOCOLS = (0, 17)  # IPPROTO_UDP
+
+
+def _sock_of(ctx: SyscallContext, fd: int):
+    """The kernel Socket behind ``fd`` (ENOTSOCK for anything else)."""
+    description = ctx.process.fd(fd)
+    if description.kind != "socket" or description.sock is None:
+        raise VfsError(Errno.ENOTSOCK)
+    return description.sock
+
+
+def _sock_blocking(ctx: SyscallContext) -> bool:
+    return ctx.kernel.scheduler_owns(ctx.process)
+
+
+def _read_sockaddr(ctx: SyscallContext, address: int) -> str:
+    """Socket addresses are NUL-terminated ASCII strings, so constant
+    addresses in ``.rodata`` become installer-authenticated string
+    parameters of the bind/connect site (see kernel/net/socket.py)."""
+    if address == 0:
+        raise VfsError(Errno.EFAULT)
+    return ctx.read_string(address, max_len=256).decode("utf-8", "surrogateescape")
+
+
+def _write_sockaddr(ctx: SyscallContext, addr_out: int, len_out: int, name: str) -> None:
+    """Fill an (address, length) output pair, truncating to the guest's
+    declared capacity (``*len_out`` on entry, u32)."""
+    encoded = name.encode("utf-8", "surrogateescape") + b"\x00"
+    if addr_out:
+        capacity = len(encoded)
+        if len_out:
+            (declared,) = struct.unpack("<I", ctx.read_buffer(len_out, 4))
+            capacity = min(capacity, declared)
+        if capacity:
+            ctx.write_buffer(addr_out, encoded[:capacity])
+    if len_out:
+        ctx.write_buffer(len_out, struct.pack("<I", len(encoded)))
 
 
 @syscall("socket")
 def _socket(ctx: SyscallContext) -> int:
     from repro.kernel.process import O_RDWR
 
+    domain, type_, protocol = ctx.args[0], ctx.args[1], ctx.args[2]
+    if domain not in (AF_UNIX, AF_INET):
+        return Errno.EAFNOSUPPORT.as_result()
+    if type_ == SOCK_STREAM:
+        allowed = _STREAM_PROTOCOLS
+    elif type_ == SOCK_DGRAM:
+        allowed = _DGRAM_PROTOCOLS
+    else:
+        return Errno.EPROTONOSUPPORT.as_result()
+    if protocol not in allowed:
+        return Errno.EPROTONOSUPPORT.as_result()
+    sock = ctx.kernel.net.create(domain, type_)
     return ctx.process.allocate_fd(
-        FileDescription(None, O_RDWR, kind="socket", path="<socket>")
+        FileDescription(None, O_RDWR, kind="socket", path="<socket>", sock=sock)
     )
+
+
+@syscall("bind")
+def _bind(ctx: SyscallContext) -> int:
+    sock = _sock_of(ctx, ctx.args[0])
+    address = _read_sockaddr(ctx, ctx.args[1])
+    ctx.kernel.net.bind(sock, address)
+    return 0
+
+
+@syscall("listen")
+def _listen(ctx: SyscallContext) -> int:
+    sock = _sock_of(ctx, ctx.args[0])
+    ctx.kernel.net.listen(sock, ctx.args[1])
+    return 0
+
+
+@syscall("connect")
+def _connect(ctx: SyscallContext) -> int:
+    sock = _sock_of(ctx, ctx.args[0])
+    address = _read_sockaddr(ctx, ctx.args[1])
+    rec = ctx.kernel.obs
+    if rec.enabled:
+        rec.begin("net-connect", "net")
+        try:
+            ctx.kernel.net.connect(sock, address, _sock_blocking(ctx))
+        finally:
+            rec.end()
+    else:
+        ctx.kernel.net.connect(sock, address, _sock_blocking(ctx))
+    return 0
+
+
+@syscall("accept")
+def _accept(ctx: SyscallContext) -> int:
+    from repro.kernel.process import O_RDWR
+
+    sock = _sock_of(ctx, ctx.args[0])
+    rec = ctx.kernel.obs
+    if rec.enabled:
+        rec.begin("net-accept", "net")
+        try:
+            child = ctx.kernel.net.accept(sock, _sock_blocking(ctx))
+        finally:
+            rec.end()
+    else:
+        child = ctx.kernel.net.accept(sock, _sock_blocking(ctx))
+    fd = ctx.process.allocate_fd(
+        FileDescription(None, O_RDWR, kind="socket", path="<socket>", sock=child)
+    )
+    # The peer "name" is the deterministic connection ident — clients
+    # are usually unbound, so there is no client address to report.
+    _write_sockaddr(ctx, ctx.args[1], ctx.args[2], f"conn:{child.conn.ident}")
+    return fd
+
+
+def _conn_send(ctx: SyscallContext, sock, data: bytes) -> int:
+    try:
+        written = sock.conn.send(sock.side, data, _sock_blocking(ctx))
+    except SendOnShutdown:
+        return Errno.EPIPE.as_result()
+    ctx.kernel.metrics.inc("net.bytes_sent", written)
+    ctx.transferred = written
+    return written
+
+
+@syscall("send")
+def _send(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    sock = _sock_of(ctx, fd)
+    data = ctx.read_buffer(buf, count)
+    if sock.conn is not None:
+        return _conn_send(ctx, sock, data)
+    if sock.type == SOCK_DGRAM and sock.peer_address:
+        written = ctx.kernel.net.send_dgram(
+            sock, sock.peer_address, data, _sock_blocking(ctx)
+        )
+        ctx.transferred = written
+        return written
+    return Errno.ENOTCONN.as_result()
+
+
+@syscall("recv")
+def _recv(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    sock = _sock_of(ctx, fd)
+    if sock.conn is not None:
+        data = sock.conn.recv(sock.side, count, _sock_blocking(ctx))
+    elif sock.type == SOCK_DGRAM and sock.address is not None:
+        _, data = ctx.kernel.net.recv_dgram(sock, count, _sock_blocking(ctx))
+    else:
+        return Errno.ENOTCONN.as_result()
+    if data:
+        ctx.write_buffer(buf, data)
+        ctx.kernel.metrics.inc("net.bytes_received", len(data))
+    ctx.transferred = len(data)
+    return len(data)
 
 
 @syscall("sendto")
@@ -748,9 +942,59 @@ def _sendto(ctx: SyscallContext) -> int:
     if description.kind != "socket":
         return Errno.EINVAL.as_result()
     data = ctx.read_buffer(buf, count)
+    sock = description.sock
+    if sock is not None:
+        if sock.conn is not None:
+            # Connected stream: the destination (if any) is ignored.
+            return _conn_send(ctx, sock, data)
+        dest = ctx.args[4]
+        if sock.type == SOCK_DGRAM and (dest or sock.peer_address):
+            address = (
+                _read_sockaddr(ctx, dest) if dest else sock.peer_address
+            )
+            written = ctx.kernel.net.send_dgram(
+                sock, address, data, _sock_blocking(ctx)
+            )
+            ctx.transferred = written
+            return written
+        if sock.type == SOCK_STREAM and dest:
+            return Errno.ENOTCONN.as_result()
+    # Unconnected, no destination: the pre-net diagnostic sink (bytes
+    # land in process.network), kept for the Table 3 profile workloads.
     ctx.process.network.append(data)
     ctx.transferred = len(data)
     return len(data)
+
+
+@syscall("recvfrom")
+def _recvfrom(ctx: SyscallContext) -> int:
+    fd, buf, count = ctx.args[0], ctx.args[1], min(ctx.args[2], MAX_RW)
+    sock = _sock_of(ctx, fd)
+    if sock.conn is not None:
+        data = sock.conn.recv(sock.side, count, _sock_blocking(ctx))
+        source = sock.peer_address or f"conn:{sock.conn.ident}"
+    elif sock.type == SOCK_DGRAM and sock.address is not None:
+        source, data = ctx.kernel.net.recv_dgram(sock, count, _sock_blocking(ctx))
+    else:
+        return Errno.ENOTCONN.as_result()
+    if data:
+        ctx.write_buffer(buf, data)
+        ctx.kernel.metrics.inc("net.bytes_received", len(data))
+    _write_sockaddr(ctx, ctx.args[4], ctx.args[5], source)
+    ctx.transferred = len(data)
+    return len(data)
+
+
+@syscall("shutdown")
+def _shutdown(ctx: SyscallContext) -> int:
+    sock = _sock_of(ctx, ctx.args[0])
+    how = ctx.args[1]
+    if how not in (SHUT_RD, SHUT_WR, SHUT_RDWR):
+        return Errno.EINVAL.as_result()
+    if sock.conn is None:
+        return Errno.ENOTCONN.as_result()
+    sock.conn.shutdown(sock.side, how)
+    return 0
 
 
 @syscall("pipe")
@@ -1025,15 +1269,143 @@ def _fsync(ctx: SyscallContext) -> int:
     return 0
 
 
+# -- readiness (select/poll over sockets, pipes, console, files) -----------
+
+POLLIN = 0x001
+POLLPRI = 0x002
+POLLOUT = 0x004
+POLLERR = 0x008
+POLLHUP = 0x010
+POLLNVAL = 0x020
+
+
+def _fd_readable(ctx: SyscallContext, description: FileDescription) -> bool:
+    """Would read() complete without blocking?  EOF counts as ready."""
+    if description.kind == "pipe":
+        assert description.pipe is not None
+        return bool(description.pipe.buffer) or description.pipe.writers <= 0
+    if description.kind == "socket":
+        sock = description.sock
+        return True if sock is None else ctx.kernel.net.recv_ready(sock)
+    # Console reads drain stdin then return EOF; files/dirs never block.
+    return True
+
+
+def _fd_writable(ctx: SyscallContext, description: FileDescription) -> bool:
+    """Would write() complete without blocking?  An immediate EPIPE
+    counts as ready — the guest must get the error, not park."""
+    if description.kind == "pipe":
+        assert description.pipe is not None
+        return description.pipe.space > 0 or description.pipe.readers <= 0
+    if description.kind == "socket":
+        sock = description.sock
+        return True if sock is None else ctx.kernel.net.send_ready(sock)
+    return True
+
+
+def _fd_hangup(ctx: SyscallContext, description: FileDescription) -> bool:
+    if description.kind == "pipe":
+        assert description.pipe is not None
+        return description.pipe.writers <= 0 and not description.pipe.buffer
+    if description.kind == "socket":
+        sock = description.sock
+        if sock is None or sock.conn is None:
+            return False
+        peer = 1 - sock.side
+        return not sock.conn.open_ends[peer] and not sock.conn.buffers[sock.side]
+    return False
+
+
+def _read_fdset(ctx: SyscallContext, address: int, words: int) -> int:
+    if address == 0:
+        return 0
+    raw = ctx.read_buffer(address, words * 4)
+    return int.from_bytes(raw, "little")
+
+
+def _write_fdset(ctx: SyscallContext, address: int, words: int, mask: int) -> None:
+    if address:
+        ctx.write_buffer(address, mask.to_bytes(words * 4, "little"))
+
+
 @syscall("select")
 def _select(ctx: SyscallContext) -> int:
-    # Single-process kernel: console and files are always ready.
-    return ctx.args[0]
+    """Honest readiness over fd-set bitmaps (32-bit little-endian words).
+
+    The degenerate pre-net form — every set pointer NULL — keeps the old
+    stub contract (return ``nfds``), which the Table 3 profile programs
+    still exercise.  A NULL timeout pointer blocks until something is
+    ready; any non-NULL timeout polls once (the simulated machine has no
+    time base, so finite timeouts expire immediately and deterministically).
+    """
+    from repro.kernel.process import MAX_FDS
+
+    nfds = min(ctx.args[0], MAX_FDS)
+    readfds, writefds, exceptfds, timeout = ctx.args[1:5]
+    if not (readfds or writefds or exceptfds):
+        return ctx.args[0]
+    words = (max(nfds, 1) + 31) // 32
+    want_read = _read_fdset(ctx, readfds, words)
+    want_write = _read_fdset(ctx, writefds, words)
+    want_except = _read_fdset(ctx, exceptfds, words)
+    ready_read = ready_write = 0
+    count = 0
+    for fd in range(nfds):
+        bit = 1 << fd
+        if not ((want_read | want_write | want_except) & bit):
+            continue
+        description = ctx.process.fd(fd)  # EBADF on stale set bits
+        if want_read & bit and _fd_readable(ctx, description):
+            ready_read |= bit
+            count += 1
+        if want_write & bit and _fd_writable(ctx, description):
+            ready_write |= bit
+            count += 1
+    if count == 0 and timeout == 0 and _sock_blocking(ctx):
+        raise WouldBlock("select", fallback=0)
+    _write_fdset(ctx, readfds, words, ready_read)
+    _write_fdset(ctx, writefds, words, ready_write)
+    _write_fdset(ctx, exceptfds, words, 0)
+    return count
 
 
 @syscall("poll")
 def _poll(ctx: SyscallContext) -> int:
-    return ctx.args[1]
+    """Honest poll over an array of ``struct pollfd`` (fd:i32,
+    events:u16, revents:u16).  The degenerate pre-net form (NULL array)
+    keeps the old stub contract.  ``timeout`` semantics match select:
+    0 polls once, negative blocks, positive expires immediately."""
+    fds_ptr, nfds, timeout = ctx.args[0], ctx.args[1], ctx.args[2]
+    if fds_ptr == 0:
+        return nfds
+    if nfds == 0:
+        return 0
+    if nfds > 256:
+        return Errno.EINVAL.as_result()
+    raw = bytearray(ctx.read_buffer(fds_ptr, nfds * 8))
+    count = 0
+    for index in range(nfds):
+        fd, events, _ = struct.unpack_from("<iHH", raw, index * 8)
+        revents = 0
+        if fd >= 0:
+            if fd not in ctx.process.fds:
+                revents = POLLNVAL
+            else:
+                description = ctx.process.fds[fd]
+                if events & POLLIN and _fd_readable(ctx, description):
+                    revents |= POLLIN
+                if events & POLLOUT and _fd_writable(ctx, description):
+                    revents |= POLLOUT
+                if _fd_hangup(ctx, description):
+                    revents |= POLLHUP
+        if revents:
+            count += 1
+        struct.pack_into("<iHH", raw, index * 8, fd, events, revents)
+    blocking_forever = timeout & 0x8000_0000  # negative: wait indefinitely
+    if count == 0 and blocking_forever and _sock_blocking(ctx):
+        raise WouldBlock("poll", fallback=0)
+    ctx.write_buffer(fds_ptr, bytes(raw))
+    return count
 
 
 @syscall("mprotect")

@@ -19,6 +19,9 @@ from repro.kernel.errors import Errno
 S_IFREG = 0o100000
 S_IFDIR = 0o040000
 S_IFLNK = 0o120000
+S_IFSOCK = 0o140000
+S_IFCHR = 0o020000
+S_IFIFO = 0o010000
 
 MAX_SYMLINK_DEPTH = 8
 MAX_NAME = 255

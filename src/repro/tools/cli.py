@@ -182,7 +182,59 @@ def _run_under_kernel(args, trace_path: Optional[str] = None):
     return kernel, recorder, result
 
 
+def _cmd_run_net(args) -> int:
+    """``run --net``: install the netserver workload and run it under
+    the preemptive scheduler, then print the loopback stack's view of
+    the exchange."""
+    from repro.workloads.netserver import build_netserver
+
+    installed = install(
+        build_netserver(clients=args.clients, requests=args.requests),
+        _key_from(args),
+        InstallerOptions(),
+    )
+    kernel = Kernel(
+        key=_key_from(args),
+        mode=EnforcementMode.ENFORCE if args.enforce else EnforcementMode.PERMISSIVE,
+        fastpath=not args.no_fastpath,
+        engine=args.engine,
+        chain=not args.no_chain,
+        verifier_jit=not args.no_verifier_jit,
+    )
+    multi = kernel.run_many(
+        [installed.binary], timeslice=getattr(args, "timeslice", 5000) or 5000
+    )
+    server_pid = multi.results[0].process.pid
+    failures = 0
+    for pid in sorted(multi.scheduler.tasks):
+        task = multi.scheduler.tasks[pid]
+        label = "server" if pid == server_pid else "client"
+        line = f"[net] pid {pid} ({label}): "
+        if task.killed:
+            line += f"killed: {task.kill_reason}"
+            failures += 1
+        else:
+            line += f"exit {task.exit_status}"
+            if task.exit_status != (0 if label == "server" else args.requests):
+                failures += 1
+        print(line)
+    stats = ", ".join(
+        f"{name.split('.', 1)[1]}={kernel.metrics.get(name)}"
+        for name in (
+            "net.connections", "net.accepts",
+            "net.bytes_sent", "net.bytes_received",
+        )
+    )
+    print(f"[net] {args.clients} clients x {args.requests} requests: {stats}")
+    return 1 if failures else 0
+
+
 def _cmd_run(args) -> int:
+    if args.net:
+        return _cmd_run_net(args)
+    if not args.binary:
+        print("run: a binary is required unless --net is given", file=sys.stderr)
+        return 2
     kernel, _, result = _run_under_kernel(args, trace_path=args.trace)
     if args.stats:
         print(
@@ -198,6 +250,9 @@ def _cmd_metrics(args) -> int:
     """Run a binary and dump the kernel's counter registry in
     Prometheus exposition format (program output goes to stderr so the
     metrics text is pipeable)."""
+    if not args.binary:
+        print("metrics: a binary is required", file=sys.stderr)
+        return 2
     stdout = sys.stdout
     sys.stdout = sys.stderr
     try:
@@ -214,7 +269,11 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_attacks(args) -> int:
-    from repro.attacks import run_all_attacks, run_cross_process_attacks
+    from repro.attacks import (
+        run_all_attacks,
+        run_cross_process_attacks,
+        run_net_attacks,
+    )
 
     # The battery runs under every execution-engine configuration
     # (interp, threaded with and without block chaining, threaded with
@@ -260,6 +319,20 @@ def _cmd_attacks(args) -> int:
         print(
             f"-- engine: {_label(engine, chain, verifier_jit)} (cross-process)"
         )
+        for result in results:
+            status = "BLOCKED" if result.blocked else "succeeded"
+            marker = "ok" if result.blocked else "UNEXPECTED"
+            print(f"{result.name.ljust(width)}  {status:10s} [{marker}]")
+            if not result.blocked:
+                failures += 1
+    # Networking battery: attacks against the loopback socket stack's
+    # echo server.  Every one of these must be blocked too.
+    for engine, chain, verifier_jit in configs:
+        results = run_net_attacks(
+            _key_from(args), engine=engine, chain=chain, verifier_jit=verifier_jit
+        )
+        width = max(len(r.name) for r in results)
+        print(f"-- engine: {_label(engine, chain, verifier_jit)} (network)")
         for result in results:
             status = "BLOCKED" if result.blocked else "succeeded"
             marker = "ok" if result.blocked else "UNEXPECTED"
@@ -376,7 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.set_defaults(handler=_cmd_policy_diff)
 
     def _add_run_arguments(cmd):
-        cmd.add_argument("binary")
+        cmd.add_argument("binary", nargs="?")
         cmd.add_argument("args", nargs="*")
         cmd.add_argument("--enforce", action="store_true",
                          help="refuse unauthenticated binaries")
@@ -400,6 +473,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("run", help="run under the checking kernel")
     _add_run_arguments(cmd)
+    cmd.add_argument("--net", action="store_true",
+                     help="run the built-in netserver workload (one "
+                          "listener plus forked clients over the loopback "
+                          "socket stack) instead of a binary")
+    cmd.add_argument("--clients", type=int, default=4,
+                     help="forked clients for --net (default 4)")
+    cmd.add_argument("--requests", type=int, default=8,
+                     help="requests per client for --net (default 8)")
     cmd.add_argument("--procs", type=int, default=0, metavar="N",
                      help="run N instances concurrently under the "
                           "preemptive scheduler (enables fork/wait/pipes)")

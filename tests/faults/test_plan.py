@@ -17,7 +17,7 @@ from repro.faults.plan import (
 )
 from repro.kernel.auth import VIOLATION_FAMILIES
 
-TRAPS = {"loop": 19, "victim": 3}
+TRAPS = {"loop": 19, "victim": 3, "netserver": 28}
 SIZES = {
     ("loop", ".authdata"): 160,
     ("loop", ".authstr"): 90,

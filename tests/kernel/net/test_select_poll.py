@@ -1,0 +1,302 @@
+"""Honest readiness: select/poll over sockets, pipes, and the console.
+
+The pre-net degenerate forms (every fd-set pointer NULL / a NULL
+pollfd array) must keep their historical stub return values — the
+Table 3 profile programs still call them that way — while real
+pointers get real readiness.
+"""
+
+from repro.kernel.errors import Errno
+from tests.kernel.conftest import run_guest
+
+FAIL = """
+fail:
+    li r1, 77
+    call sys_exit
+"""
+
+EXIT0 = """
+    li r1, 0
+    call sys_exit
+"""
+
+
+class TestLegacyStubForms:
+    def test_select_with_null_sets_returns_nfds(self, kernel):
+        result = run_guest(kernel, """
+    li r1, 5
+    li r2, 0
+    li r3, 0
+    li r4, 0
+    li r5, 0
+    call sys_select
+    mov r1, r0
+    call sys_exit
+""", ["select"])
+        assert result.exit_status == 5
+
+    def test_poll_with_null_array_returns_nfds(self, kernel):
+        result = run_guest(kernel, """
+    li r1, 0
+    li r2, 7
+    li r3, 100
+    call sys_poll
+    mov r1, r0
+    call sys_exit
+""", ["poll"])
+        assert result.exit_status == 7
+
+    def test_poll_rejects_oversized_arrays(self, kernel):
+        result = run_guest(kernel, """
+    li r1, pfds
+    li r2, 300
+    li r3, 0
+    call sys_poll
+    xori r1, r0, 0xFFFFFFFF
+    addi r1, r1, 1
+    call sys_exit
+""", ["poll"], data=".section .bss\npfds:\n  .space 8")
+        assert result.exit_status == int(Errno.EINVAL)
+
+
+class TestSelectOverSockets:
+    def test_socket_readiness_lifecycle(self, kernel):
+        # fds: 3 = listener, 4 = client, 5 = accepted server end.
+        result = run_guest(kernel, """
+    li r1, 2
+    li r2, 1
+    li r3, 0
+    call sys_socket
+    mov r12, r0
+    mov r1, r12
+    li r2, name
+    li r3, 0
+    call sys_bind
+    mov r1, r12
+    li r2, 4
+    call sys_listen
+    ; empty accept queue: the listener is not readable
+    li r9, fdset
+    li r10, 0x08           ; {3}
+    st r10, [r9+0]
+    li r1, 8
+    li r2, fdset
+    li r3, 0
+    li r4, 0
+    li r5, tv
+    call sys_select
+    cmpi r0, 0
+    bne fail
+    li r1, 2
+    li r2, 1
+    li r3, 0
+    call sys_socket
+    mov r13, r0            ; client fd 4
+    mov r1, r13
+    li r2, name
+    li r3, 0
+    call sys_connect
+    cmpi r0, 0
+    bne fail
+    ; pending connection: the listener is now readable
+    li r9, fdset
+    li r10, 0x08
+    st r10, [r9+0]
+    li r1, 8
+    li r2, fdset
+    li r3, 0
+    li r4, 0
+    li r5, tv
+    call sys_select
+    cmpi r0, 1
+    bne fail
+    mov r1, r12
+    li r2, 0
+    li r3, 0
+    call sys_accept
+    cmpi r0, 0
+    blt fail
+    mov r14, r0            ; server fd 5
+    ; nothing sent yet: neither data end is readable ...
+    li r9, fdset
+    li r10, 0x30           ; {4, 5}
+    st r10, [r9+0]
+    li r1, 8
+    li r2, fdset
+    li r3, 0
+    li r4, 0
+    li r5, tv
+    call sys_select
+    cmpi r0, 0
+    bne fail
+    ; ... but the client has buffer space, so it is writable
+    li r9, fdset
+    li r10, 0x10           ; {4}
+    st r10, [r9+0]
+    li r1, 8
+    li r2, 0
+    li r3, fdset
+    li r4, 0
+    li r5, tv
+    call sys_select
+    cmpi r0, 1
+    bne fail
+    ; send; the server end turns readable and the result mask says so
+    mov r1, r13
+    li r2, msg
+    li r3, 8
+    li r4, 0
+    call sys_send
+    cmpi r0, 8
+    bne fail
+    li r9, fdset
+    li r10, 0x30           ; {4, 5}
+    st r10, [r9+0]
+    li r1, 8
+    li r2, fdset
+    li r3, 0
+    li r4, 0
+    li r5, tv
+    call sys_select
+    cmpi r0, 1
+    bne fail
+    li r9, fdset
+    ld r10, [r9+0]
+    cmpi r10, 0x20         ; only {5}
+    bne fail
+""" + EXIT0 + FAIL,
+            ["socket", "bind", "listen", "connect", "accept",
+             "send", "select"],
+            data='.section .rodata\nname:\n  .asciz "svc:sel"\n'
+                 'msg:\n  .asciz "selload"\n'
+                 '.section .data\ntv:\n  .word 0\n'
+                 '.section .bss\nfdset:\n  .space 4')
+        assert result.exit_status == 0
+
+    def test_console_is_always_ready(self, kernel):
+        result = run_guest(kernel, """
+    li r9, fdset
+    li r10, 0x01           ; {0}
+    st r10, [r9+0]
+    li r1, 4
+    li r2, fdset
+    li r3, 0
+    li r4, 0
+    li r5, tv
+    call sys_select
+    mov r1, r0
+    call sys_exit
+""", ["select"],
+            data='.section .data\ntv:\n  .word 0\n'
+                 '.section .bss\nfdset:\n  .space 4')
+        assert result.exit_status == 1
+
+
+class TestPollOverPipes:
+    def test_pipe_readiness_and_hangup(self, kernel):
+        # pollfd = <fd:i32, events:u16, revents:u16>; revents rides in
+        # the high half of the second word.
+        result = run_guest(kernel, """
+    li r1, fds
+    call sys_pipe
+    cmpi r0, 0
+    bne fail
+    li r9, fds
+    ld r12, [r9+0]         ; read end
+    ld r13, [r9+4]         ; write end
+    ; poll both: empty pipe -> only the write end is ready (POLLOUT)
+    li r9, pfds
+    st r12, [r9+0]
+    li r10, 1              ; POLLIN
+    st r10, [r9+4]
+    st r13, [r9+8]
+    li r10, 4              ; POLLOUT
+    st r10, [r9+12]
+    li r1, pfds
+    li r2, 2
+    li r3, 0
+    call sys_poll
+    cmpi r0, 1
+    bne fail
+    li r9, pfds
+    ld r10, [r9+4]
+    shri r10, r10, 16
+    cmpi r10, 0
+    bne fail
+    ld r10, [r9+12]
+    shri r10, r10, 16
+    cmpi r10, 4
+    bne fail
+    ; one byte in flight -> both ends ready
+    mov r1, r13
+    li r2, msg
+    li r3, 1
+    call sys_write
+    cmpi r0, 1
+    bne fail
+    li r9, pfds
+    li r10, 1
+    st r10, [r9+4]
+    li r10, 4
+    st r10, [r9+12]
+    li r1, pfds
+    li r2, 2
+    li r3, 0
+    call sys_poll
+    cmpi r0, 2
+    bne fail
+    li r9, pfds
+    ld r10, [r9+4]
+    shri r10, r10, 16
+    cmpi r10, 1            ; POLLIN
+    bne fail
+    ; writer gone and drained: POLLIN (EOF is readable) | POLLHUP
+    mov r1, r13
+    call sys_close
+    mov r1, r12
+    li r2, buf
+    li r3, 4
+    call sys_read
+    cmpi r0, 1
+    bne fail
+    li r9, pfds
+    li r10, 1
+    st r10, [r9+4]
+    li r1, pfds
+    li r2, 1
+    li r3, 0
+    call sys_poll
+    cmpi r0, 1
+    bne fail
+    li r9, pfds
+    ld r10, [r9+4]
+    shri r10, r10, 16
+    cmpi r10, 0x11         ; POLLIN | POLLHUP
+    bne fail
+""" + EXIT0 + FAIL,
+            ["pipe", "write", "read", "close", "poll"],
+            data='.section .rodata\nmsg:\n  .asciz "x"\n'
+                 '.section .bss\nfds:\n  .space 8\n'
+                 'pfds:\n  .space 16\nbuf:\n  .space 4')
+        assert result.exit_status == 0
+
+    def test_unknown_fd_reports_pollnval(self, kernel):
+        result = run_guest(kernel, """
+    li r9, pfds
+    li r10, 9              ; never-opened fd
+    st r10, [r9+0]
+    li r10, 1
+    st r10, [r9+4]
+    li r1, pfds
+    li r2, 1
+    li r3, 0
+    call sys_poll
+    cmpi r0, 1
+    bne fail
+    li r9, pfds
+    ld r10, [r9+4]
+    shri r10, r10, 16
+    mov r1, r10
+    call sys_exit
+""" + FAIL, ["poll"], data=".section .bss\npfds:\n  .space 8")
+        assert result.exit_status == 0x20  # POLLNVAL

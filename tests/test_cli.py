@@ -222,3 +222,22 @@ class TestReport:
     def test_report_flags_missing(self, capsys, tmp_path):
         assert main(["report", "--results-dir", str(tmp_path)]) == 1
         assert "missing reports" in capsys.readouterr().err
+
+
+class TestRunNet:
+    def test_run_net_completes_and_reports_stats(self, capsys):
+        assert main([
+            "--fast-mac", "run", "--net", "--clients", "2", "--requests", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(server): exit 0" in out
+        assert out.count("(client): exit 3") == 2
+        assert "connections=2" in out
+        assert "accepts=2" in out
+        # 2 clients x 3 requests x 8 bytes, echoed: 96 each way.
+        assert "bytes_sent=96" in out
+        assert "bytes_received=96" in out
+
+    def test_run_requires_binary_or_net(self, capsys):
+        assert main(["run"]) == 2
+        assert "unless --net" in capsys.readouterr().err
