@@ -1,0 +1,154 @@
+"""The checked-in reproducer corpus.
+
+Every divergence the conformance sweep ever finds is minimized and
+frozen here as a small JSON entry, then replayed forever as a pinned
+regression test.  An entry stores both the op list (so the provenance
+is readable) and the **rendered assembly source** at the time of
+capture — replay assembles the pinned source, not a re-render, so a
+later generator change can neither mask nor mutate an old reproducer.
+
+The corpus also carries *seed* entries: one minimized clean program per
+syscall family (file, pipe, socket), produced by
+:func:`seed_corpus` from the generator's own output stream.  Those pin
+the conformance property itself — each family's minimal program must
+keep running bit-identically on every engine config.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.conformance.grammar import ProgramSpec, render
+
+#: Corpus entries live under the repo's test tree by default.
+DEFAULT_CORPUS_DIR = "tests/conformance/corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned reproducer."""
+
+    name: str
+    description: str
+    spec: ProgramSpec
+    #: Rendered assembly frozen at capture time; replay assembles this.
+    source: str
+    families: tuple
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "description": self.description,
+            "spec": self.spec.to_json(),
+            "families": list(self.families),
+            "source": self.source,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CorpusEntry":
+        payload = json.loads(text)
+        spec = ProgramSpec.from_json(payload["spec"])
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            spec=spec,
+            source=payload["source"],
+            families=tuple(payload["families"]),
+        )
+
+
+def make_entry(name: str, description: str, spec: ProgramSpec) -> CorpusEntry:
+    """Freeze ``spec`` (rendering its source now) under ``name``."""
+    return CorpusEntry(
+        name=name,
+        description=description,
+        spec=spec,
+        source=render(spec),
+        families=spec.families(),
+    )
+
+
+def write_entry(directory, entry: CorpusEntry) -> Path:
+    """Write one entry as ``<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(entry.to_json())
+    return path
+
+
+def load_entries(directory) -> list[CorpusEntry]:
+    """Every entry in ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        CorpusEntry.from_json(path.read_text())
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+#: The syscall families every seeded corpus must represent, with the
+#: description template their entries carry.
+SEED_FAMILIES = ("file", "pipe", "socket")
+
+
+def seed_corpus(key, seed: int = 0, scan: int = 200) -> list[CorpusEntry]:
+    """Produce one minimized clean entry per family in
+    :data:`SEED_FAMILIES` from the generator's seeded stream.
+
+    For each family, the first generated spec covering it is shrunk
+    under "still covers the family and still replays clean and
+    conformant on every config", so the checked-in program is the
+    smallest the shrinker can reach — typically a single op."""
+    from repro.conformance.grammar import generate_specs
+    from repro.conformance.oracle import (
+        divergences,
+        install_spec,
+        run_all_configs,
+    )
+    from repro.conformance.shrink import shrink_spec
+
+    def clean_and_covers(family):
+        def predicate(spec: ProgramSpec) -> bool:
+            if family not in spec.families():
+                return False
+            outcomes = run_all_configs(key, install_spec(spec, key))
+            if divergences(outcomes):
+                return False
+            return all(out.clean for out in outcomes.values())
+
+        return predicate
+
+    specs = generate_specs(seed, scan)
+    entries = []
+    for family in SEED_FAMILIES:
+        candidate = next(
+            (spec for spec in specs if family in spec.families()), None
+        )
+        if candidate is None:
+            raise RuntimeError(
+                f"no generated spec covers family {family!r} "
+                f"in {scan} programs from seed {seed}"
+            )
+        predicate = clean_and_covers(family)
+        if not predicate(candidate):
+            raise RuntimeError(
+                f"family {family!r} candidate {candidate.program_id} "
+                "does not replay clean before shrinking"
+            )
+        result = shrink_spec(candidate, predicate)
+        entries.append(
+            make_entry(
+                name=f"seed-{family}",
+                description=(
+                    f"minimal clean {family}-family program from "
+                    f"generator seed {seed}"
+                ),
+                spec=result.spec,
+            )
+        )
+    return entries

@@ -98,7 +98,7 @@ def _run_single(
         crash = f"guest crash: {fault}"
     finally:
         kernel.release_process(process, vm)
-    signature = _signature(
+    signature = process_signature(
         status, crash, vm.killed, vm.kill_reason,
         bytes(process.stdout), bytes(process.stderr),
         vm.cycles, vm.instructions_executed,
@@ -111,12 +111,13 @@ def _run_single(
     )
 
 
-def _signature(
+def process_signature(
     status, crash, killed, kill_reason, stdout, stderr, cycles, instructions
 ) -> tuple:
-    """One process's comparable result.  A fixed 8-slot layout shared by
-    the single-run and per-task scheduled signatures; ``_CYCLES_SLOT``
-    is the entry :func:`portable_signature` strips."""
+    """One process's comparable result.  A fixed 8-slot layout shared
+    by the single-run and per-task scheduled signatures here and by the
+    conformance oracle (:mod:`repro.conformance.oracle`);
+    ``_CYCLES_SLOT`` is the entry :func:`portable_signature` strips."""
     return (status, crash, killed, kill_reason, stdout, stderr, cycles,
             instructions)
 
@@ -160,7 +161,7 @@ def _run_scheduled(key, config, workloads, plan, recorder) -> RunOutcome:
         scheduler.on_switch = perturb
     scheduler.run()
     per_task = tuple(
-        _signature(
+        process_signature(
             task.exit_status, "", task.killed, task.kill_reason,
             bytes(task.process.stdout), bytes(task.process.stderr),
             task.vm.cycles, task.vm.instructions_executed,
@@ -202,7 +203,7 @@ def _run_netserver(key, config, workloads, plan, recorder) -> RunOutcome:
     scheduler.run()
     tasks = [scheduler.tasks[pid] for pid in sorted(scheduler.tasks)]
     per_task = tuple(
-        _signature(
+        process_signature(
             task.exit_status, "", task.killed, task.kill_reason,
             bytes(task.process.stdout), bytes(task.process.stderr),
             task.vm.cycles, task.vm.instructions_executed,

@@ -196,14 +196,23 @@ class Vfs:
             return False
 
     def create_file(
-        self, path: str, mode: int = 0o644, cwd: str = "/", exclusive: bool = False
+        self,
+        path: str,
+        mode: int = 0o644,
+        cwd: str = "/",
+        exclusive: bool = False,
+        _depth: int = 0,
     ) -> Inode:
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise VfsError(Errno.ELOOP, path)
         node, parent, name = self._walk(path, cwd)
         if node is not None:
             if node.is_symlink:
                 # open(O_CREAT) through a symlink creates/uses the target.
                 base = self._dirname(path, cwd)
-                return self.create_file(node.target, mode, base, exclusive)
+                return self.create_file(
+                    node.target, mode, base, exclusive, _depth=_depth + 1
+                )
             if exclusive:
                 raise VfsError(Errno.EEXIST, path)
             if node.is_dir:
@@ -297,16 +306,18 @@ class Vfs:
             raise VfsError(Errno.ENOTDIR, path)
         return sorted(node.entries)
 
-    def normalize(self, path: str, cwd: str = "/") -> str:
+    def normalize(self, path: str, cwd: str = "/", _depth: int = 0) -> str:
         """Return the canonical absolute path with all symlinks
         resolved — the §5.4 normalized file name.  The final component
         need not exist."""
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise VfsError(Errno.ELOOP, path)
         if not path:
             raise VfsError(Errno.ENOENT, path)
         node, parent, name = self._walk(path, cwd)
         if node is not None and node.is_symlink:
             base = self._dirname(path, cwd)
-            return self.normalize(node.target, base)
+            return self.normalize(node.target, base, _depth=_depth + 1)
         parent_path = self._path_of_inode(parent)
         if not name:
             return parent_path

@@ -49,6 +49,10 @@ COUNTER_HELP = {
     "faults.detected": "injected faults killed with a correctly attributed violation",
     "faults.benign": "injected faults that landed on dead state (run bit-identical)",
     "faults.missed": "injected faults that diverged undetected (hard failure)",
+    "conform.programs": "generated programs executed by the conformance sweep",
+    "conform.runs": "per-config conformance runs (programs x configs)",
+    "conform.divergences": "programs whose signature differed across configs (hard failure)",
+    "conform.shrink_evaluations": "candidate programs executed while minimizing a divergence",
 }
 
 

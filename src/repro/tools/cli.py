@@ -398,6 +398,29 @@ def _cmd_faults(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_conform(args) -> int:
+    from repro.conformance import run_conformance
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    report = run_conformance(
+        key=_key_from(args),
+        seed=args.seed,
+        count=args.count,
+        config_names=args.config or None,
+        timeslice=args.timeslice,
+        metrics=metrics,
+        corpus_dir=args.corpus_dir,
+    )
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"conformance report written to {args.json}", file=sys.stderr)
+    if args.metrics:
+        Path(args.metrics).write_text(metrics.render_prometheus())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools",
@@ -537,6 +560,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write faults.* counters (Prometheus exposition format)",
     )
     cmd.set_defaults(handler=_cmd_faults)
+
+    cmd = commands.add_parser(
+        "conform",
+        help="run the cross-config conformance fuzzing sweep",
+    )
+    cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed (same seed + key -> byte-identical report)",
+    )
+    cmd.add_argument(
+        "--count", type=int, default=50,
+        help="generated programs (each runs on every selected config)",
+    )
+    cmd.add_argument(
+        "--config", action="append", metavar="NAME",
+        help="engine config to compare (repeatable; default: all five)",
+    )
+    cmd.add_argument(
+        "--timeslice", type=int, default=200,
+        help="scheduler timeslice per conformance run (default 200)",
+    )
+    cmd.add_argument(
+        "--json", metavar="OUT.json",
+        help="write the machine-readable conformance report here",
+    )
+    cmd.add_argument(
+        "--metrics", metavar="OUT.prom",
+        help="write conform.* counters (Prometheus exposition format)",
+    )
+    cmd.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="write minimized reproducers for any divergence here",
+    )
+    cmd.set_defaults(handler=_cmd_conform)
 
     cmd = commands.add_parser(
         "report", help="print archived benchmark reports in paper order"

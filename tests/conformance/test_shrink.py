@@ -1,0 +1,82 @@
+"""Shrinker behavior on synthetic predicates (no programs are run)."""
+
+from repro.conformance.grammar import GenOp, ProgramSpec
+from repro.conformance.shrink import shrink_spec
+
+
+def _spec(*ops):
+    return ProgramSpec(program_id=0, ops=tuple(ops))
+
+
+def _has_kind(kind):
+    return lambda spec: any(op.kind == kind for op in spec.ops)
+
+
+def test_minimizes_to_single_triggering_op():
+    spec = _spec(
+        GenOp("write", 1, 4),
+        GenOp("spin", extra=100),
+        GenOp("socket", 3),
+        GenOp("getpid"),
+        GenOp("forkpipe", 2),
+    )
+    result = shrink_spec(spec, _has_kind("socket"))
+    assert [op.kind for op in result.spec.ops] == ["socket"]
+    # ...and the param ladder pulled the record count down to 1.
+    assert result.spec.ops[0].value == 1
+    assert result.reductions > 0
+
+
+def test_param_reduction_without_removal():
+    spec = _spec(GenOp("spin", extra=190))
+    result = shrink_spec(spec, _has_kind("spin"))
+    assert result.spec.ops == (GenOp("spin", extra=1),)
+
+
+def test_preserves_conjunction_properties():
+    """A predicate needing two ops keeps both (ddmin can't drop
+    either) but still simplifies their parameters."""
+    spec = _spec(
+        GenOp("smc", 7, 9),
+        GenOp("write", 2, 16),
+        GenOp("forkpipe", 3),
+    )
+    def predicate(s):
+        return _has_kind("smc")(s) and _has_kind("forkpipe")(s)
+
+    result = shrink_spec(spec, predicate)
+    kinds = [op.kind for op in result.spec.ops]
+    assert kinds == ["smc", "forkpipe"]
+    assert result.spec.ops[0] == GenOp("smc", 1, 2)
+    assert result.spec.ops[1] == GenOp("forkpipe", 1)
+
+
+def test_irreducible_spec_returned_unchanged():
+    spec = _spec(GenOp("getpid"))
+    result = shrink_spec(spec, _has_kind("getpid"))
+    assert result.spec == spec
+
+
+def test_respects_evaluation_budget():
+    spec = _spec(*(GenOp("getpid") for _ in range(5)))
+    calls = []
+
+    def predicate(candidate):
+        calls.append(candidate)
+        return True
+
+    result = shrink_spec(spec, predicate, max_evaluations=3)
+    assert len(calls) == 3
+    assert result.evaluations == 3
+
+
+def test_shrink_is_deterministic():
+    spec = _spec(
+        GenOp("write", 0, 8),
+        GenOp("socket", 2),
+        GenOp("spin", extra=50),
+    )
+    first = shrink_spec(spec, _has_kind("socket"))
+    second = shrink_spec(spec, _has_kind("socket"))
+    assert first.spec == second.spec
+    assert first.evaluations == second.evaluations

@@ -1,0 +1,155 @@
+"""Property tests for VFS path resolution.
+
+The invariants under random path inputs and random tree shapes:
+
+1. Resolution never escapes the root — ``..`` at ``/`` stays at ``/``,
+   and every resolvable path normalizes to an absolute path inside the
+   tree.
+2. No input makes resolution raise anything but :class:`VfsError` —
+   in particular, symlink cycles must surface as ``ELOOP``, never as a
+   Python ``RecursionError``.
+3. ``normalize`` is idempotent: normalizing a normalized path is a
+   no-op.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.errors import Errno
+from repro.kernel.vfs import Vfs, VfsError
+
+#: Path components the generator draws from: names that exist, names
+#: that don't, dot/dotdot, over-long names, and empty segments (which
+#: the splitter drops, like repeated slashes).
+_COMPONENTS = st.sampled_from(
+    ["etc", "tmp", "motd", "missing", ".", "..", "", "x" * 300, "a", "b"]
+)
+
+_PATHS = st.builds(
+    lambda parts, absolute: ("/" if absolute else "") + "/".join(parts),
+    st.lists(_COMPONENTS, min_size=0, max_size=8),
+    st.booleans(),
+)
+
+
+def _populated() -> Vfs:
+    vfs = Vfs()
+    vfs.write_file("/etc/motd", b"hello\n")
+    vfs.mkdir("/a")
+    vfs.mkdir("/a/b")
+    vfs.write_file("/a/b/file", b"data")
+    vfs.symlink("/a/b", "/a/link")
+    vfs.symlink("../b/file", "/a/b/../b/rel")  # relative target
+    return vfs
+
+
+class TestResolutionProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(path=_PATHS)
+    def test_lookup_raises_only_vfs_errors(self, path):
+        """Arbitrary dot/dotdot/empty/overlong paths either resolve or
+        raise VfsError — nothing else gets out."""
+        vfs = _populated()
+        try:
+            vfs.lookup(path)
+        except VfsError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(path=_PATHS, cwd=st.sampled_from(["/", "/a", "/a/b", "/etc"]))
+    def test_normalize_stays_inside_root(self, path, cwd):
+        """Every normalizable path is absolute and, after arbitrary
+        ``..`` chains, still starts at the root."""
+        vfs = _populated()
+        try:
+            normalized = vfs.normalize(path, cwd=cwd)
+        except VfsError:
+            return
+        assert normalized.startswith("/")
+        assert "/../" not in normalized + "/"
+        # Idempotence: a canonical path canonicalizes to itself.
+        assert vfs.normalize(normalized) == normalized
+
+    @settings(max_examples=100, deadline=None)
+    @given(depth=st.integers(min_value=1, max_value=40))
+    def test_dotdot_never_escapes_root(self, depth):
+        """N leading ``..`` components clamp at the root, matching
+        Unix semantics."""
+        vfs = _populated()
+        path = "/".join([".."] * depth) + "/etc/motd"
+        assert vfs.read_file(path, cwd="/") == b"hello\n"
+        expected = "/a" if depth == 1 else "/"  # cwd /a/b is 2 deep
+        assert vfs.normalize("/".join([".."] * depth), cwd="/a/b") == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(depth=st.integers(min_value=1, max_value=30))
+    def test_deep_nesting_round_trips(self, depth):
+        """A chain of nested dirs resolves back out with ``..`` and
+        normalizes to the textual path."""
+        vfs = Vfs()
+        parts = [f"d{i}" for i in range(depth)]
+        path = ""
+        for part in parts:
+            path += "/" + part
+            vfs.mkdir(path)
+        vfs.write_file(path + "/leaf", b"x")
+        assert vfs.normalize(path + "/leaf") == path + "/leaf"
+        backout = path + "/" + "/".join([".."] * depth) + "/etc"
+        assert vfs.normalize(backout) == "/etc"
+
+
+class TestSymlinkCycles:
+    def _cyclic(self) -> Vfs:
+        vfs = Vfs()
+        vfs.symlink("/tmp/b", "/tmp/a")
+        vfs.symlink("/tmp/a", "/tmp/b")
+        vfs.symlink("/tmp/self", "/tmp/self")
+        return vfs
+
+    @pytest.mark.parametrize("path", ["/tmp/a", "/tmp/b", "/tmp/self"])
+    def test_resolve_cycle_is_eloop(self, path):
+        vfs = self._cyclic()
+        with pytest.raises(VfsError) as excinfo:
+            vfs.resolve(path)
+        assert excinfo.value.errno == Errno.ELOOP
+
+    @pytest.mark.parametrize("path", ["/tmp/a", "/tmp/self"])
+    def test_normalize_cycle_is_eloop(self, path):
+        """normalize() follows final-component symlinks itself; a cycle
+        must be ELOOP, not a blown Python stack."""
+        vfs = self._cyclic()
+        with pytest.raises(VfsError) as excinfo:
+            vfs.normalize(path)
+        assert excinfo.value.errno == Errno.ELOOP
+
+    @pytest.mark.parametrize("path", ["/tmp/a", "/tmp/self"])
+    def test_create_through_cycle_is_eloop(self, path):
+        """open(O_CREAT) through a symlink cycle is ELOOP too."""
+        vfs = self._cyclic()
+        with pytest.raises(VfsError) as excinfo:
+            vfs.create_file(path)
+        assert excinfo.value.errno == Errno.ELOOP
+
+    def test_cycle_through_intermediate_component_is_eloop(self):
+        vfs = self._cyclic()
+        with pytest.raises(VfsError) as excinfo:
+            vfs.lookup("/tmp/a/child")
+        assert excinfo.value.errno == Errno.ELOOP
+
+    @settings(max_examples=50, deadline=None)
+    @given(chain=st.integers(min_value=1, max_value=20))
+    def test_long_symlink_chains_bounded(self, chain):
+        """Chains within MAX_SYMLINK_DEPTH resolve; longer ones are
+        ELOOP — never RecursionError."""
+        vfs = Vfs()
+        vfs.write_file("/tmp/real", b"end")
+        previous = "/tmp/real"
+        for i in range(chain):
+            link = f"/tmp/l{i}"
+            vfs.symlink(previous, link)
+            previous = link
+        try:
+            assert vfs.read_file(previous) == b"end"
+        except VfsError as err:
+            assert err.errno == Errno.ELOOP

@@ -241,3 +241,25 @@ class TestRunNet:
     def test_run_requires_binary_or_net(self, capsys):
         assert main(["run"]) == 2
         assert "unless --net" in capsys.readouterr().err
+
+
+class TestConform:
+    def test_conform_sweep_writes_report_and_metrics(self, capsys, tmp_path):
+        report = tmp_path / "conform.json"
+        prom = tmp_path / "conform.prom"
+        assert main([
+            "--fast-mac", "conform", "--seed", "0", "--count", "4",
+            "--json", str(report), "--metrics", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 0 divergences" in out
+        payload = report.read_text()
+        assert '"seed": 0' in payload
+        assert "repro_conform_programs 4" in prom.read_text()
+
+    def test_conform_config_subset(self, capsys):
+        assert main([
+            "--fast-mac", "conform", "--count", "2",
+            "--config", "interp", "--config", "no-fastpath",
+        ]) == 0
+        assert "configs=2" in capsys.readouterr().out

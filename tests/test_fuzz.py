@@ -54,8 +54,9 @@ class TestVmFuzz:
         kernel = Kernel(key=KEY)
         process, vm = kernel.load(assemble(source, metadata={"program": "hostile"}))
         process.authenticated = True
+        entry = vm.pc
         vm.regs[:] = [r & 0xFFFFFFFF for r in regs]
-        vm.pc = kernel.load(assemble(source))[1].pc  # entry unchanged
+        vm.pc = entry  # entry unchanged by the register clobber
         try:
             vm.run(max_instructions=100)
         except ExecutionFault:
